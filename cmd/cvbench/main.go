@@ -1,0 +1,70 @@
+// Command cvbench regenerates the paper's evaluation: every figure and
+// table of §5, printed as text tables with the paper's reported numbers for
+// comparison.
+//
+// Usage:
+//
+//	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold]
+//	        [-full] [-seed N]
+//
+// By default reduced workload sizes keep the whole run in laptop-minutes;
+// -full selects the paper-scale parameters (400k-tuple relations, all 120
+// orderings, 10^7-node threshold fills).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+var all = []struct {
+	name string
+	run  func(experiments.Config) error
+}{
+	{"fig2a", experiments.Fig2a},
+	{"fig2bc", experiments.Fig2bc},
+	{"fig3", experiments.Fig3},
+	{"fig4", experiments.Fig4},
+	{"fig5a", experiments.Fig5a},
+	{"fig5b", experiments.Fig5b},
+	{"fig6a", experiments.Fig6a},
+	{"fig6b", experiments.Fig6b},
+	{"fig6c", experiments.Fig6c},
+	{"table1", experiments.Table1},
+	{"threshold", experiments.Threshold},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
+	full := flag.Bool("full", false, "paper-scale workloads")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Out: os.Stdout, Full: *full, Seed: *seed}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := e.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "cvbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "cvbench: no experiment matches %q\n", *exp)
+		os.Exit(2)
+	}
+}

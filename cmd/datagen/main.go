@@ -1,0 +1,65 @@
+// Command datagen emits the paper's evaluation datasets as CSV, for use
+// with cvcheck or external tools.
+//
+// Usage:
+//
+//	datagen -kind customers -tuples 100000 -noise 0.002 > cust.csv
+//	datagen -kind kprod -k 4 -tuples 400000 > rel.csv
+//	datagen -kind constraints -tuples 10000 > cons.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func main() {
+	kind := flag.String("kind", "customers", "customers|kprod|constraints")
+	tuples := flag.Int("tuples", 100000, "relation size")
+	k := flag.Int("k", 1, "number of products for -kind kprod (0 = random)")
+	attrs := flag.Int("attrs", 5, "attributes for -kind kprod")
+	domSize := flag.Int("dom", 100, "domain size cap for -kind kprod")
+	noise := flag.Float64("noise", 0, "noise rate for -kind customers")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cat := relation.NewCatalog()
+	var t *relation.Table
+	var err error
+	switch *kind {
+	case "customers":
+		var data *datagen.CustomerData
+		data, err = datagen.Customers(cat, "CUST", datagen.CustomerSpec{
+			Tuples: *tuples, NoiseRate: *noise,
+		}, rng)
+		if err == nil {
+			t = data.Table
+		}
+	case "kprod":
+		t, err = datagen.KProd(cat, "REL", datagen.ProdSpec{
+			Products: *k, Attrs: *attrs, Tuples: *tuples, DomSize: *domSize,
+		}, rng)
+	case "constraints":
+		var data *datagen.CustomerData
+		data, err = datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: 1000}, rng)
+		if err == nil {
+			t, err = datagen.MembershipConstraints(cat, "CONS", data, *tuples, rng)
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
+	if err := t.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
+}

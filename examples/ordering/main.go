@@ -1,0 +1,70 @@
+// Ordering: the §3 story as a runnable demo. Generates one relation per
+// §5.1 structure family (1-PROD, 4-PROD, 8-PROD, RANDOM), builds its BDD
+// index under every attribute permutation, and shows where the orderings
+// picked by MaxInf-Gain and Prob-Converge land between the optimum and the
+// worst case — the paper's Figures 2 and 3 in miniature.
+//
+// Run with: go run ./examples/ordering [-tuples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/ordering"
+	"repro/internal/relation"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 20000, "tuples per generated relation")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	families := []struct {
+		name     string
+		products int
+	}{
+		{"1-PROD", 1}, {"4-PROD", 4}, {"8-PROD", 8}, {"RANDOM", 0},
+	}
+	fmt.Printf("%-8s %10s %10s %12s %14s %10s\n",
+		"family", "best", "worst", "MaxInf-Gain", "Prob-Converge", "ratio")
+	for fi, fam := range families {
+		cat := relation.NewCatalog()
+		t, err := datagen.KProd(cat, "R", datagen.ProdSpec{
+			Products: fam.products, Attrs: 5, Tuples: *tuples, DomSize: 100,
+		}, rand.New(rand.NewSource(*seed*100+int64(fi))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := func(order []int) int {
+			store := index.NewStore(index.Options{})
+			ix, err := store.Build("R", t, []int{0, 1, 2, 3, 4}, order)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return ix.NodeCount()
+		}
+		var sizes []int
+		for _, perm := range ordering.Permutations(5) {
+			sizes = append(sizes, size(perm))
+		}
+		sort.Ints(sizes)
+		best, worst := sizes[0], sizes[len(sizes)-1]
+		mig := size(ordering.MaxInfGain(t))
+		pc := size(ordering.ProbConverge(t, nil))
+		fmt.Printf("%-8s %10d %10d %9d(α=%.2f) %11d(β=%.2f) %9.2fx\n",
+			fam.name, best, worst,
+			mig, float64(mig)/float64(best),
+			pc, float64(pc)/float64(best),
+			float64(worst)/float64(best))
+	}
+	fmt.Println("\npaper: the ordering effect (ratio) shrinks from 71.29x on 1-PROD to 1.02x on")
+	fmt.Println("RANDOM; Prob-Converge stays within 1.5x of optimal, MaxInf-Gain does not.")
+	_ = rng
+}

@@ -1,0 +1,530 @@
+// Package bdd implements Reduced Ordered Binary Decision Diagrams (ROBDDs)
+// with a shared unique-node table, memoized boolean operations, variable
+// quantification, combined apply-quantify operations (the analogues of
+// BuDDy's bdd_appex and bdd_appall), ordered variable replacement, garbage
+// collection with external reference pinning, and a configurable node budget
+// that aborts operations whose intermediate results explode.
+//
+// The package is a from-scratch substitute for the BuDDy C library used by
+// the paper "Fast Identification of Relational Constraint Violations"
+// (ICDE 2007). Node canonicity (Bryant 1986) is maintained at all times:
+// two logically equivalent functions built in the same Kernel always receive
+// the same Ref, so validity and satisfiability tests are O(1) comparisons
+// against True and False.
+//
+// Kernels are not safe for concurrent use; callers that share a Kernel
+// across goroutines must serialize access.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ref is a handle to a BDD node inside a Kernel. Refs are only meaningful
+// relative to the Kernel that produced them. The zero Ref is False.
+type Ref int32
+
+// Reserved references.
+const (
+	// False is the terminal node for the constant false function.
+	False Ref = 0
+	// True is the terminal node for the constant true function.
+	True Ref = 1
+	// Invalid is returned by operations that were aborted (see Kernel.Err)
+	// or that received invalid arguments. Operations on Invalid propagate
+	// Invalid, so a chain of operations needs only one error check at the end.
+	Invalid Ref = -1
+)
+
+// terminalLevel is the level assigned to the two terminal nodes. It orders
+// after every variable level.
+const terminalLevel = math.MaxUint32
+
+// ErrBudget is reported by Kernel.Err when an operation would have grown the
+// node table past the configured node budget. The paper's query-processing
+// strategy treats this as the signal to abandon BDD evaluation and fall back
+// to SQL processing.
+var ErrBudget = errors.New("bdd: node budget exceeded")
+
+// ErrOrder is reported when a Replace mapping does not preserve the relative
+// variable order, which the linear replace algorithm requires.
+var ErrOrder = errors.New("bdd: replacement does not preserve variable order")
+
+// node is one entry of the shared node table. The struct is 20 bytes, the
+// same per-node overhead the paper reports for its BuDDy configuration.
+type node struct {
+	level uint32 // variable level; terminalLevel for True/False
+	low   Ref    // 0-successor
+	high  Ref    // 1-successor
+	next  int32  // unique-table hash chain; -1 terminates
+	refs  int32  // external pin count; nodes with refs>0 are GC roots
+}
+
+// Config controls the construction of a Kernel.
+type Config struct {
+	// Vars is the number of boolean variables. Levels and variable indices
+	// coincide: variable i is tested at level i, with level 0 at the top.
+	Vars int
+	// NodeBudget, when positive, bounds the number of live nodes. An
+	// operation that needs to allocate past the budget is aborted: it
+	// returns Invalid and Kernel.Err reports ErrBudget.
+	NodeBudget int
+	// CacheSize fixes the number of entries in each operation cache
+	// (rounded up to a power of two). Zero selects dynamic sizing: caches
+	// start small and double as the node table grows, up to a default
+	// maximum — small kernels stay cheap to create, large workloads still
+	// get large caches.
+	CacheSize int
+	// InitialNodes sizes the initial node table. Zero selects a default.
+	InitialNodes int
+}
+
+// Kernel owns a shared node table and the operation caches. All Refs handed
+// out by a Kernel remain valid while they are pinned (see Protect) or
+// reachable from a pinned Ref; unpinned, unreachable nodes may be reclaimed
+// by garbage collection between operations.
+type Kernel struct {
+	nodes   []node
+	buckets []int32 // unique table heads, len is a power of two
+	free    int32   // head of free list threaded through node.next; -1 empty
+	live    int     // number of live (non-free) nodes, including terminals
+	numVars int
+
+	budget    int
+	gcTrigger int // run GC when live exceeds this at an operation boundary
+	err       error
+
+	applyCache   []applyEntry
+	quantCache   []quantEntry
+	replaceCache []replaceEntry
+	cacheMask    uint32
+	cacheEpoch   uint32 // entries from older epochs are invalid (cheap GC-time flush)
+	maxCache     int    // dynamic caches stop doubling at this size
+	tempRoots    []Ref  // GC roots for in-flight computations (TempKeep)
+
+	replaceMaps []replaceMap // interned variable substitutions
+
+	// statistics
+	gcCount      int
+	appliedCount uint64
+	cacheHits    uint64
+}
+
+type applyEntry struct {
+	f, g, res Ref
+	op        uint32
+	epoch     uint32
+}
+
+type quantEntry struct {
+	f, g, cube, res Ref
+	op              uint32
+	epoch           uint32
+}
+
+type replaceEntry struct {
+	f, res Ref
+	mapID  int32
+	epoch  uint32
+}
+
+type replaceMap struct {
+	// dense per-level target variable; identity where unchanged
+	target []uint32
+	// topLevel is the smallest level that is remapped; recursion can stop
+	// once the current level exceeds lastLevel.
+	lastLevel uint32
+}
+
+const (
+	opAnd uint32 = iota + 1
+	opOr
+	opXor
+	opDiff // f ∧ ¬g
+	opImp  // ¬f ∨ g
+	opBiimp
+	opNot
+	opExists
+	opForall
+	opAppEx  // ∃cube (f ∧ g)
+	opAppAll // ∀cube (f ∨ g)
+)
+
+const (
+	defaultMaxCacheSize = 1 << 18
+	initialCacheSize    = 1 << 12
+	defaultInitialNodes = 1 << 12
+	minBuckets          = 1 << 10
+)
+
+// New creates a Kernel with cfg.Vars boolean variables.
+func New(cfg Config) *Kernel {
+	if cfg.Vars < 0 {
+		panic("bdd: negative variable count")
+	}
+	cache := initialCacheSize
+	maxCache := defaultMaxCacheSize
+	if cfg.CacheSize > 0 {
+		cache = ceilPow2(cfg.CacheSize)
+		maxCache = cache
+	}
+	initial := cfg.InitialNodes
+	if initial < 16 {
+		initial = defaultInitialNodes
+	}
+	k := &Kernel{
+		numVars:      cfg.Vars,
+		budget:       cfg.NodeBudget,
+		applyCache:   make([]applyEntry, cache),
+		quantCache:   make([]quantEntry, cache),
+		replaceCache: make([]replaceEntry, cache),
+		cacheMask:    uint32(cache - 1),
+		maxCache:     maxCache,
+		free:         -1,
+	}
+	k.nodes = make([]node, 2, initial)
+	k.nodes[False] = node{level: terminalLevel, low: False, high: True, next: -1}
+	k.nodes[True] = node{level: terminalLevel, low: False, high: True, next: -1}
+	k.nodes[False].refs = 1 // terminals are permanently pinned
+	k.nodes[True].refs = 1
+	k.live = 2
+	k.buckets = make([]int32, minBuckets)
+	for i := range k.buckets {
+		k.buckets[i] = -1
+	}
+	k.resetGCTrigger()
+	k.cacheEpoch = 1 // zero-valued entries never match
+	return k
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (k *Kernel) resetGCTrigger() {
+	// Collections clear the operation caches, so collecting too eagerly
+	// costs recomputation; with a budget in place, let the table run up to
+	// three quarters of it before collecting.
+	k.gcTrigger = k.live*2 + 65536
+	if k.budget > 0 {
+		if t := k.budget * 3 / 4; t > k.gcTrigger {
+			k.gcTrigger = t
+		} else if k.gcTrigger > k.budget {
+			k.gcTrigger = k.budget
+		}
+	}
+}
+
+// NumVars returns the number of boolean variables in the kernel.
+func (k *Kernel) NumVars() int { return k.numVars }
+
+// AddVars appends n fresh variables at the bottom of the variable order and
+// returns the index of the first. Existing Refs are unaffected: the new
+// variables order after every existing one. The finite-domain layer uses
+// this to allocate variable blocks on demand as indices are created.
+func (k *Kernel) AddVars(n int) int {
+	if n < 0 {
+		panic("bdd: negative variable count")
+	}
+	base := k.numVars
+	k.numVars += n
+	for i := range k.replaceMaps {
+		m := &k.replaceMaps[i]
+		for v := len(m.target); v < k.numVars; v++ {
+			m.target = append(m.target, uint32(v))
+		}
+	}
+	return base
+}
+
+// Err returns the sticky error state of the kernel: nil, or ErrBudget after
+// an aborted operation. The error must be cleared with ClearErr before the
+// kernel accepts further work.
+func (k *Kernel) Err() error { return k.err }
+
+// ClearErr resets the sticky error state so the kernel can be used again
+// (typically after the caller has fallen back to SQL evaluation). Any
+// Invalid refs obtained from aborted operations remain invalid.
+func (k *Kernel) ClearErr() { k.err = nil }
+
+// Size returns the number of live nodes in the shared table, including the
+// two terminals.
+func (k *Kernel) Size() int { return k.live }
+
+// GCCount returns how many garbage collections have run.
+func (k *Kernel) GCCount() int { return k.gcCount }
+
+// OpCount returns the number of recursive apply steps executed. It is a
+// cheap proxy for work performed, used by benchmarks.
+func (k *Kernel) OpCount() uint64 { return k.appliedCount }
+
+// CacheHits returns the number of operation-cache hits.
+func (k *Kernel) CacheHits() uint64 { return k.cacheHits }
+
+// Level returns the variable level tested by node f, or NumVars() for the
+// terminals.
+func (k *Kernel) Level(f Ref) int {
+	if k.isTerminal(f) {
+		return k.numVars
+	}
+	return int(k.nodes[f].level)
+}
+
+// Low returns the 0-successor of f. f must not be a terminal.
+func (k *Kernel) Low(f Ref) Ref { return k.nodes[f].low }
+
+// High returns the 1-successor of f. f must not be a terminal.
+func (k *Kernel) High(f Ref) Ref { return k.nodes[f].high }
+
+func (k *Kernel) isTerminal(f Ref) bool { return f == False || f == True }
+
+// IsTerminal reports whether f is one of the constant functions.
+func (k *Kernel) IsTerminal(f Ref) bool { return k.isTerminal(f) }
+
+// Var returns the BDD of the single-variable function x_i.
+func (k *Kernel) Var(i int) Ref {
+	k.checkVar(i)
+	return k.makeNode(uint32(i), False, True)
+}
+
+// NVar returns the BDD of the negated single-variable function ¬x_i.
+func (k *Kernel) NVar(i int) Ref {
+	k.checkVar(i)
+	return k.makeNode(uint32(i), True, False)
+}
+
+func (k *Kernel) checkVar(i int) {
+	if i < 0 || i >= k.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, k.numVars))
+	}
+}
+
+// TempMark returns the current depth of the temporary-root stack, for a
+// later TempRelease.
+func (k *Kernel) TempMark() int { return len(k.tempRoots) }
+
+// TempKeep pushes f onto the temporary-root stack, protecting it from
+// garbage collection until the enclosing TempRelease. Computations that
+// hold intermediate Refs in local variables across further kernel
+// operations (an evaluator accumulating conjuncts, for example) must keep
+// them: garbage collection can trigger at any operation boundary, and only
+// pinned nodes, temp roots and the current operation's operands survive.
+func (k *Kernel) TempKeep(f Ref) Ref {
+	if f > True {
+		k.tempRoots = append(k.tempRoots, f)
+	}
+	return f
+}
+
+// TempRelease pops the temporary-root stack down to a mark previously
+// returned by TempMark.
+func (k *Kernel) TempRelease(mark int) {
+	if mark < 0 || mark > len(k.tempRoots) {
+		panic("bdd: invalid TempRelease mark")
+	}
+	k.tempRoots = k.tempRoots[:mark]
+}
+
+// Protect pins f (and, transitively, everything reachable from it) against
+// garbage collection. Each Protect must be balanced by an Unprotect. Refs
+// that are only held in caller data structures across unrelated kernel
+// operations must be protected; operands and results of the current
+// operation are safe without pinning, and short-lived intermediates should
+// use TempKeep/TempRelease.
+func (k *Kernel) Protect(f Ref) Ref {
+	if f > True { // terminals and Invalid need no pinning
+		k.nodes[f].refs++
+	}
+	return f
+}
+
+// Unprotect releases one pin previously placed by Protect.
+func (k *Kernel) Unprotect(f Ref) {
+	if f > True {
+		if k.nodes[f].refs == 0 {
+			panic("bdd: unbalanced Unprotect")
+		}
+		k.nodes[f].refs--
+	}
+}
+
+// MakeNode returns the canonical node testing variable v with the given
+// cofactors. Both cofactors must be terminals or nodes at strictly greater
+// levels; MakeNode panics otherwise, because a violation would silently
+// break canonicity. It exists for bulk constructions (the finite-domain
+// layer's sorted-tuple relation builder) that assemble BDDs bottom-up
+// without going through apply.
+func (k *Kernel) MakeNode(v uint32, low, high Ref) Ref {
+	if int(v) >= k.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, k.numVars))
+	}
+	if low == Invalid || high == Invalid {
+		return Invalid
+	}
+	if uint32(k.Level(low)) <= v || uint32(k.Level(high)) <= v {
+		panic("bdd: MakeNode cofactor level violates the variable order")
+	}
+	return k.makeNode(v, low, high)
+}
+
+// makeNode returns the canonical node (level, low, high), interning it if
+// necessary. It implements both ROBDD reduction rules: redundant tests
+// (low == high) are skipped and isomorphic nodes are shared.
+func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
+	if low == high {
+		return low
+	}
+	if low == Invalid || high == Invalid {
+		return Invalid
+	}
+	h := nodeHash(level, low, high) & uint32(len(k.buckets)-1)
+	for i := k.buckets[h]; i >= 0; i = k.nodes[i].next {
+		n := &k.nodes[i]
+		if n.level == level && n.low == low && n.high == high {
+			return Ref(i)
+		}
+	}
+	if k.budget > 0 && k.live >= k.budget {
+		k.err = ErrBudget
+		return Invalid
+	}
+	var idx int32
+	if k.free >= 0 {
+		idx = k.free
+		k.free = k.nodes[idx].next
+	} else {
+		k.nodes = append(k.nodes, node{})
+		idx = int32(len(k.nodes) - 1)
+	}
+	k.nodes[idx] = node{level: level, low: low, high: high, next: k.buckets[h]}
+	k.buckets[h] = idx
+	k.live++
+	if k.live > len(k.buckets)*3/4 {
+		k.growBuckets()
+	}
+	if k.live > len(k.applyCache) && len(k.applyCache) < k.maxCache {
+		k.growCaches()
+	}
+	return Ref(idx)
+}
+
+// growCaches doubles the operation caches. It may run in the middle of an
+// operation; entry pointers into the old arrays then write stale memory,
+// which only loses those cache entries.
+func (k *Kernel) growCaches() {
+	size := len(k.applyCache) * 2
+	k.applyCache = make([]applyEntry, size)
+	k.quantCache = make([]quantEntry, size)
+	k.replaceCache = make([]replaceEntry, size)
+	k.cacheMask = uint32(size - 1)
+}
+
+func nodeHash(level uint32, low, high Ref) uint32 {
+	h := level*0x9e3779b9 ^ uint32(low)*0x85ebca6b ^ uint32(high)*0xc2b2ae35
+	h ^= h >> 15
+	h *= 0x27d4eb2f
+	h ^= h >> 13
+	return h
+}
+
+func (k *Kernel) growBuckets() {
+	nb := make([]int32, len(k.buckets)*2)
+	for i := range nb {
+		nb[i] = -1
+	}
+	mask := uint32(len(nb) - 1)
+	// Re-thread every live node. Free nodes are identified by level 0 slots
+	// on the free list, so rebuild from the unique chains instead of the
+	// free list: walk existing buckets.
+	for _, head := range k.buckets {
+		for i := head; i >= 0; {
+			next := k.nodes[i].next
+			n := &k.nodes[i]
+			h := nodeHash(n.level, n.low, n.high) & mask
+			n.next = nb[h]
+			nb[h] = i
+			i = next
+		}
+	}
+	k.buckets = nb
+}
+
+// clearCaches invalidates every operation-cache entry by advancing the
+// epoch; entries are validated against the current epoch on lookup, so the
+// flush is O(1) instead of rewriting megabytes of cache memory.
+func (k *Kernel) clearCaches() {
+	k.cacheEpoch++
+}
+
+// gcIfNeeded runs a mark-and-sweep collection when the table has grown past
+// the trigger. It is called only at operation boundaries; roots are the
+// pinned nodes plus the operands of the pending operation.
+func (k *Kernel) gcIfNeeded(operands ...Ref) {
+	if k.live < k.gcTrigger {
+		return
+	}
+	k.GC(operands...)
+}
+
+// GC runs a mark-and-sweep garbage collection. Pinned nodes (Protect) and
+// the supplied extra roots survive; all other nodes are reclaimed and their
+// table slots recycled. All operation caches are invalidated.
+func (k *Kernel) GC(extraRoots ...Ref) {
+	marked := make([]bool, len(k.nodes))
+	marked[False] = true
+	marked[True] = true
+	var stack []Ref
+	push := func(f Ref) {
+		if f > True && !marked[f] {
+			marked[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for i := 2; i < len(k.nodes); i++ {
+		if k.nodes[i].refs > 0 {
+			push(Ref(i))
+		}
+	}
+	for _, r := range k.tempRoots {
+		push(r)
+	}
+	for _, r := range extraRoots {
+		push(r)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push(k.nodes[f].low)
+		push(k.nodes[f].high)
+	}
+	// Sweep: rebuild bucket chains from marked nodes, thread the rest onto
+	// the free list.
+	for i := range k.buckets {
+		k.buckets[i] = -1
+	}
+	k.free = -1
+	k.live = 2
+	mask := uint32(len(k.buckets) - 1)
+	for i := 2; i < len(k.nodes); i++ {
+		n := &k.nodes[i]
+		if marked[i] {
+			h := nodeHash(n.level, n.low, n.high) & mask
+			n.next = k.buckets[h]
+			k.buckets[h] = int32(i)
+			k.live++
+		} else {
+			n.next = k.free
+			n.refs = 0
+			k.free = int32(i)
+		}
+	}
+	k.clearCaches()
+	k.gcCount++
+	k.resetGCTrigger()
+}

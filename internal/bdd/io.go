@@ -1,0 +1,170 @@
+package bdd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// io.go implements BDD serialization, so logical indices can be persisted
+// and reloaded without re-encoding the base relations. The format is a
+// topologically ordered node list (children before parents) with
+// varint-encoded fields; on load, nodes are re-interned through makeNode,
+// so a loaded BDD shares structure with everything already in the kernel.
+
+const ioMagic = "\x00BDD1"
+
+// Save writes the subgraphs reachable from roots to w. The roots' order is
+// preserved for Load.
+func (k *Kernel) Save(w io.Writer, roots ...Ref) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(ioMagic); err != nil {
+		return err
+	}
+	var buf []byte
+	writeUvarint := func(v uint64) error {
+		buf = binary.AppendUvarint(buf[:0], v)
+		_, err := bw.Write(buf)
+		return err
+	}
+	if err := writeUvarint(uint64(k.numVars)); err != nil {
+		return err
+	}
+	// Topological order via iterative post-order.
+	idOf := map[Ref]uint64{False: 0, True: 1}
+	var order []Ref
+	var visit func(Ref) error
+	visit = func(f Ref) error {
+		if f == Invalid {
+			return fmt.Errorf("bdd: Save of Invalid ref")
+		}
+		if _, done := idOf[f]; done {
+			return nil
+		}
+		n := &k.nodes[f]
+		if err := visit(n.low); err != nil {
+			return err
+		}
+		if err := visit(n.high); err != nil {
+			return err
+		}
+		idOf[f] = uint64(len(order)) + 2
+		order = append(order, f)
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(order))); err != nil {
+		return err
+	}
+	for _, f := range order {
+		n := &k.nodes[f]
+		if err := writeUvarint(uint64(n.level)); err != nil {
+			return err
+		}
+		if err := writeUvarint(idOf[n.low]); err != nil {
+			return err
+		}
+		if err := writeUvarint(idOf[n.high]); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(roots))); err != nil {
+		return err
+	}
+	for _, r := range roots {
+		if err := writeUvarint(idOf[r]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads BDDs previously written by Save into this kernel and returns
+// their roots in saved order. The kernel must have at least as many
+// variables as the saving kernel; nodes are interned, so loading into a
+// kernel that already holds equal subfunctions shares them. Load counts
+// against the node budget like any other operation.
+func (k *Kernel) Load(r io.Reader) ([]Ref, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(ioMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bdd: reading magic: %w", err)
+	}
+	if string(magic) != ioMagic {
+		return nil, fmt.Errorf("bdd: not a BDD file")
+	}
+	vars, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if int(vars) > k.numVars {
+		return nil, fmt.Errorf("bdd: file needs %d variables, kernel has %d", vars, k.numVars)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<31 {
+		return nil, fmt.Errorf("bdd: implausible node count %d", count)
+	}
+	// Grow incrementally: the count is untrusted input and must not drive
+	// a huge up-front allocation.
+	initial := count
+	if initial > 1<<16 {
+		initial = 1 << 16
+	}
+	refs := make([]Ref, 2, 2+initial)
+	refs[0], refs[1] = False, True
+	mark := k.TempMark()
+	defer k.TempRelease(mark)
+	for i := uint64(0); i < count; i++ {
+		level, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		lowID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		highID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if level >= vars || lowID >= i+2 || highID >= i+2 {
+			return nil, fmt.Errorf("bdd: corrupt node %d", i)
+		}
+		f := k.makeNode(uint32(level), refs[lowID], refs[highID])
+		if f == Invalid {
+			return nil, k.Err()
+		}
+		refs = append(refs, k.TempKeep(f))
+	}
+	rootCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if rootCount > 1<<31 {
+		return nil, fmt.Errorf("bdd: implausible root count %d", rootCount)
+	}
+	rootInit := rootCount
+	if rootInit > 1<<16 {
+		rootInit = 1 << 16
+	}
+	roots := make([]Ref, 0, rootInit)
+	for i := uint64(0); i < rootCount; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if id >= uint64(len(refs)) {
+			return nil, fmt.Errorf("bdd: corrupt root %d", i)
+		}
+		roots = append(roots, refs[id])
+	}
+	return roots, nil
+}

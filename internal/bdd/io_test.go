@@ -1,0 +1,116 @@
+package bdd_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	const nv = 10
+	rng := rand.New(rand.NewSource(71))
+	k := bdd.New(bdd.Config{Vars: nv})
+	var exprs []*expr
+	var roots []bdd.Ref
+	for i := 0; i < 5; i++ {
+		e := randExpr(rng, nv, 15)
+		exprs = append(exprs, e)
+		roots = append(roots, k.Protect(e.build(k)))
+	}
+	var buf bytes.Buffer
+	if err := k.Save(&buf, roots...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh kernel: functions must evaluate identically.
+	k2 := bdd.New(bdd.Config{Vars: nv})
+	loaded, err := k2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(roots) {
+		t.Fatalf("loaded %d roots, want %d", len(loaded), len(roots))
+	}
+	for i, e := range exprs {
+		for _, a := range assignments(nv) {
+			if k2.Eval(loaded[i], a) != e.eval(a) {
+				t.Fatalf("root %d evaluates differently after load", i)
+			}
+		}
+		if k2.NodeCount(loaded[i]) != k.NodeCount(roots[i]) {
+			t.Fatalf("root %d changed size across save/load", i)
+		}
+	}
+}
+
+func TestLoadSharesWithExistingNodes(t *testing.T) {
+	const nv = 6
+	k := bdd.New(bdd.Config{Vars: nv})
+	f := k.Protect(k.And(k.Var(0), k.Or(k.Var(2), k.NVar(4))))
+	var buf bytes.Buffer
+	if err := k.Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into the same kernel re-interns to the identical Ref.
+	loaded, err := k.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0] != f {
+		t.Fatal("reload into the same kernel must return the identical ref")
+	}
+}
+
+func TestLoadRejectsCorruptInput(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 4})
+	cases := []string{
+		"",
+		"junk",
+		"\x00BDD1",                 // truncated after magic
+		"\x00BDD2\x04\x00\x00",     // wrong magic version
+		"\x00BDD1\x04\x01\xff\xff", // corrupt node fields
+	}
+	for _, src := range cases {
+		if _, err := k.Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLoadRejectsTooManyVars(t *testing.T) {
+	big := bdd.New(bdd.Config{Vars: 12})
+	f := big.And(big.Var(0), big.Var(11))
+	var buf bytes.Buffer
+	if err := big.Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	small := bdd.New(bdd.Config{Vars: 4})
+	if _, err := small.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("load into a smaller kernel must fail")
+	}
+}
+
+func TestSaveSharedRootsOnce(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 6})
+	f := k.And(k.Var(0), k.Var(1))
+	g := k.Or(f, k.Var(2)) // shares f's nodes
+	var buf bytes.Buffer
+	if err := k.Save(&buf, f, g, f); err != nil {
+		t.Fatal(err)
+	}
+	k2 := bdd.New(bdd.Config{Vars: 6})
+	loaded, err := k2.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 || loaded[0] != loaded[2] {
+		t.Fatal("duplicate roots must load to the same ref")
+	}
+	// Shared structure is preserved: listing f twice adds no nodes.
+	if k2.SharedNodeCount(loaded...) != k2.SharedNodeCount(loaded[0], loaded[1]) {
+		t.Fatal("duplicate root changed the shared footprint")
+	}
+}

@@ -1,0 +1,225 @@
+package bdd
+
+// quant.go implements existential and universal quantification over variable
+// cubes, and the combined apply-quantify operations AppEx and AppAll that
+// mirror BuDDy's bdd_appex and bdd_appall. The combined forms are the
+// machinery behind the paper's quantifier pull-up rewrite rule (§4.3): they
+// quantify on the fly during the apply recursion instead of first
+// materializing the (often much larger) BDD of the boolean combination.
+
+// Cube returns the conjunction of the positive literals of vars. Cube BDDs
+// identify variable sets for the quantification operations; being ordinary
+// BDDs they also serve as cache keys.
+func (k *Kernel) Cube(vars ...int) Ref {
+	// Build bottom-up in descending level order so each step is a single
+	// makeNode.
+	seen := make(map[int]bool, len(vars))
+	sorted := make([]int, 0, len(vars))
+	for _, v := range vars {
+		k.checkVar(v)
+		if !seen[v] {
+			seen[v] = true
+			sorted = append(sorted, v)
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	acc := True
+	for i := len(sorted) - 1; i >= 0; i-- {
+		acc = k.makeNode(uint32(sorted[i]), False, acc)
+		if acc == Invalid {
+			return Invalid
+		}
+	}
+	return acc
+}
+
+// CubeVars lists, in ascending order, the variables of a cube previously
+// produced by Cube.
+func (k *Kernel) CubeVars(cube Ref) []int {
+	var vars []int
+	for cube != True && cube != False {
+		n := &k.nodes[cube]
+		vars = append(vars, int(n.level))
+		cube = n.high
+	}
+	return vars
+}
+
+// Exists returns ∃vars(f), where vars is a cube.
+func (k *Kernel) Exists(f, cube Ref) Ref {
+	k.gcIfNeeded(f, cube)
+	return k.quant(opExists, f, cube)
+}
+
+// Forall returns ∀vars(f), where vars is a cube.
+func (k *Kernel) Forall(f, cube Ref) Ref {
+	k.gcIfNeeded(f, cube)
+	return k.quant(opForall, f, cube)
+}
+
+// AppEx returns ∃cube (f op g) in a single pass, the analogue of BuDDy's
+// bdd_appex. op must be one of OpAnd, OpOr, OpXor.
+func (k *Kernel) AppEx(f, g Ref, op ApplyOp, cube Ref) Ref {
+	k.gcIfNeeded(f, g, cube)
+	return k.appQuant(opAppEx, uint32(op), f, g, cube)
+}
+
+// AppAll returns ∀cube (f op g) in a single pass, the analogue of BuDDy's
+// bdd_appall.
+func (k *Kernel) AppAll(f, g Ref, op ApplyOp, cube Ref) Ref {
+	k.gcIfNeeded(f, g, cube)
+	return k.appQuant(opAppAll, uint32(op), f, g, cube)
+}
+
+// ApplyOp selects the boolean connective for AppEx and AppAll.
+type ApplyOp uint32
+
+// Connectives accepted by AppEx and AppAll.
+const (
+	OpAnd ApplyOp = ApplyOp(opAnd)
+	OpOr  ApplyOp = ApplyOp(opOr)
+	OpXor ApplyOp = ApplyOp(opXor)
+)
+
+func (k *Kernel) quant(op uint32, f, cube Ref) Ref {
+	if k.err != nil || f == Invalid || cube == Invalid {
+		return Invalid
+	}
+	if k.isTerminal(f) || cube == True {
+		return f
+	}
+	k.appliedCount++
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(cube)*0xc2b2ae35 ^ op*0x27d4eb2f) & k.cacheMask
+	e := &k.quantCache[slot]
+	if e.epoch == k.cacheEpoch && e.op == op && e.f == f && e.cube == cube {
+		k.cacheHits++
+		return e.res
+	}
+	n := &k.nodes[f]
+	level, lowIn, highIn := n.level, n.low, n.high
+	// Advance the cube below level: variables above f's top variable do not
+	// occur in f, so quantifying them is the identity.
+	c := cube
+	for c != True {
+		cl := k.nodes[c].level
+		if cl >= level {
+			break
+		}
+		c = k.nodes[c].high
+	}
+	if c == True {
+		*e = quantEntry{op: op, f: f, cube: cube, res: f, epoch: k.cacheEpoch}
+		return f
+	}
+	var res Ref
+	if k.nodes[c].level == level {
+		// Quantified variable: combine the cofactors.
+		below := k.nodes[c].high
+		low := k.quant(op, lowIn, below)
+		if low == Invalid {
+			return Invalid
+		}
+		high := k.quant(op, highIn, below)
+		if high == Invalid {
+			return Invalid
+		}
+		if op == opExists {
+			res = k.apply(opOr, low, high)
+		} else {
+			res = k.apply(opAnd, low, high)
+		}
+	} else {
+		low := k.quant(op, lowIn, c)
+		if low == Invalid {
+			return Invalid
+		}
+		high := k.quant(op, highIn, c)
+		if high == Invalid {
+			return Invalid
+		}
+		res = k.makeNode(level, low, high)
+	}
+	if res == Invalid {
+		return Invalid
+	}
+	*e = quantEntry{op: op, f: f, cube: cube, res: res, epoch: k.cacheEpoch}
+	return res
+}
+
+func (k *Kernel) appQuant(mode, op uint32, f, g, cube Ref) Ref {
+	if k.err != nil || f == Invalid || g == Invalid || cube == Invalid {
+		return Invalid
+	}
+	if r, ok := terminalApply(op, f, g); ok {
+		if mode == opAppEx {
+			return k.quant(opExists, r, cube)
+		}
+		return k.quant(opForall, r, cube)
+	}
+	f, g = normalizeApply(op, f, g)
+	k.appliedCount++
+	key := mode<<4 | op
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(g)*0x85ebca6b ^ uint32(cube)*0xc2b2ae35 ^ key*0x27d4eb2f) & k.cacheMask
+	e := &k.quantCache[slot]
+	if e.epoch == k.cacheEpoch && e.op == key && e.f == f && e.g == g && e.cube == cube {
+		k.cacheHits++
+		return e.res
+	}
+	fn, gn := &k.nodes[f], &k.nodes[g]
+	var level uint32
+	var f0, f1, g0, g1 Ref
+	switch {
+	case fn.level == gn.level:
+		level = fn.level
+		f0, f1 = fn.low, fn.high
+		g0, g1 = gn.low, gn.high
+	case fn.level < gn.level:
+		level = fn.level
+		f0, f1 = fn.low, fn.high
+		g0, g1 = g, g
+	default:
+		level = gn.level
+		f0, f1 = f, f
+		g0, g1 = gn.low, gn.high
+	}
+	c := cube
+	for c != True && k.nodes[c].level < level {
+		c = k.nodes[c].high
+	}
+	var res Ref
+	if c != True && k.nodes[c].level == level {
+		below := k.nodes[c].high
+		low := k.appQuant(mode, op, f0, g0, below)
+		if low == Invalid {
+			return Invalid
+		}
+		high := k.appQuant(mode, op, f1, g1, below)
+		if high == Invalid {
+			return Invalid
+		}
+		if mode == opAppEx {
+			res = k.apply(opOr, low, high)
+		} else {
+			res = k.apply(opAnd, low, high)
+		}
+	} else {
+		low := k.appQuant(mode, op, f0, g0, c)
+		if low == Invalid {
+			return Invalid
+		}
+		high := k.appQuant(mode, op, f1, g1, c)
+		if high == Invalid {
+			return Invalid
+		}
+		res = k.makeNode(level, low, high)
+	}
+	if res == Invalid {
+		return Invalid
+	}
+	*e = quantEntry{op: key, f: f, g: g, cube: cube, res: res, epoch: k.cacheEpoch}
+	return res
+}

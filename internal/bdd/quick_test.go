@@ -1,0 +1,144 @@
+package bdd_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+)
+
+// quick_test.go drives the kernel's algebraic invariants through
+// testing/quick: randomly generated formula structures must satisfy the
+// boolean and quantifier laws on every draw.
+
+// qExpr wraps a random expression tree for quick.Check.
+type qExpr struct {
+	e *expr
+}
+
+const qVars = 5
+
+// pairConfig generates random expression arguments for quick.Check
+// properties.
+func pairConfig(seed int64) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(qExpr{e: randExpr(rng, qVars, 2+r.Intn(10))})
+			}
+		},
+	}
+}
+
+func TestQuickDeMorganAndDistribution(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: qVars})
+	property := func(a, b qExpr) bool {
+		f, g := a.e.build(k), b.e.build(k)
+		if k.Not(k.And(f, g)) != k.Or(k.Not(f), k.Not(g)) {
+			return false
+		}
+		if k.Not(k.Or(f, g)) != k.And(k.Not(f), k.Not(g)) {
+			return false
+		}
+		if k.And(f, k.Or(f, g)) != f { // absorption
+			return false
+		}
+		if k.Xor(f, g) != k.Xor(g, f) { // commutativity
+			return false
+		}
+		return k.Imp(f, g) == k.Imp(k.Not(g), k.Not(f)) // contraposition
+	}
+	if err := quick.Check(property, pairConfig(101)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCanonicity(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: qVars})
+	all := assignments(qVars)
+	property := func(a, b qExpr) bool {
+		f, g := a.e.build(k), b.e.build(k)
+		equal := true
+		for _, asn := range all {
+			if a.e.eval(asn) != b.e.eval(asn) {
+				equal = false
+				break
+			}
+		}
+		// Semantically equal ⇔ identical Ref (Bryant's canonical form).
+		return equal == (f == g)
+	}
+	if err := quick.Check(property, pairConfig(103)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuantifierLaws(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: qVars})
+	rng := rand.New(rand.NewSource(107))
+	property := func(a, b qExpr) bool {
+		f, g := a.e.build(k), b.e.build(k)
+		x := rng.Intn(qVars)
+		cube := k.Cube(x)
+		// ∃ distributes over ∨, ∀ over ∧.
+		if k.Exists(k.Or(f, g), cube) != k.Or(k.Exists(f, cube), k.Exists(g, cube)) {
+			return false
+		}
+		if k.Forall(k.And(f, g), cube) != k.And(k.Forall(f, cube), k.Forall(g, cube)) {
+			return false
+		}
+		// Monotonicity: ∀x f ⇒ f ⇒ ∃x f  (as implications, both valid).
+		if k.Imp(k.Forall(f, cube), f) != bdd.True {
+			return false
+		}
+		if k.Imp(f, k.Exists(f, cube)) != bdd.True {
+			return false
+		}
+		// Combined ops agree with their two-step forms.
+		if k.AppEx(f, g, bdd.OpAnd, cube) != k.Exists(k.And(f, g), cube) {
+			return false
+		}
+		return k.AppAll(f, g, bdd.OpOr, cube) == k.Forall(k.Or(f, g), cube)
+	}
+	if err := quick.Check(property, pairConfig(109)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSatCountConsistency(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: qVars})
+	property := func(a, b qExpr) bool {
+		f, g := a.e.build(k), b.e.build(k)
+		// Inclusion-exclusion: |f| + |g| = |f∨g| + |f∧g|.
+		lhs := k.SatCount(f) + k.SatCount(g)
+		rhs := k.SatCount(k.Or(f, g)) + k.SatCount(k.And(f, g))
+		if lhs != rhs {
+			return false
+		}
+		// Complement: |f| + |¬f| = 2^n.
+		return k.SatCount(f)+k.SatCount(k.Not(f)) == float64(int(1)<<qVars)
+	}
+	if err := quick.Check(property, pairConfig(113)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRestrictShannon(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: qVars})
+	rng := rand.New(rand.NewSource(127))
+	property := func(a qExpr, _ qExpr) bool {
+		f := a.e.build(k)
+		x := rng.Intn(qVars)
+		hi := k.Restrict(f, []bdd.Literal{{Var: x, Value: true}})
+		lo := k.Restrict(f, []bdd.Literal{{Var: x, Value: false}})
+		// Shannon expansion: f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0).
+		return f == k.Or(k.And(k.Var(x), hi), k.And(k.NVar(x), lo))
+	}
+	if err := quick.Check(property, pairConfig(131)); err != nil {
+		t.Fatal(err)
+	}
+}

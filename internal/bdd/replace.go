@@ -1,0 +1,221 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// replace.go implements ordered variable replacement — the BDD analogue of
+// attribute renaming, used by the paper's equi-join rewrite rule (§4.2) —
+// plus cofactor restriction.
+
+// ReplaceMap is an interned variable substitution usable with Replace. Maps
+// are created once per (source block, target block) pair and reused, which
+// also gives Replace results a stable cache identity.
+type ReplaceMap struct {
+	id int32
+}
+
+// NewReplaceMap interns the substitution pairs[i][0] → pairs[i][1]. The
+// substitution must be injective (no duplicate sources or targets) and
+// monotone on its sources: if u < v are both renamed then
+// target(u) < target(v). Monotonicity is necessary but not sufficient for a
+// single linear pass — whether the rename is order-safe also depends on the
+// support of the BDD it is applied to (a variable that keeps its level must
+// not end up ordered across a renamed one). Replace therefore performs a
+// runtime check and aborts with ErrOrder when the input violates it;
+// callers then rebuild the BDD in the target variables instead (the fdd
+// layer does exactly that).
+func (k *Kernel) NewReplaceMap(pairs [][2]int) (ReplaceMap, error) {
+	target := make([]uint32, k.numVars)
+	for i := range target {
+		target[i] = uint32(i)
+	}
+	usedDst := make(map[int]bool, len(pairs))
+	usedSrc := make(map[int]bool, len(pairs))
+	srcs := make([]int, 0, len(pairs))
+	last := uint32(0)
+	for _, p := range pairs {
+		src, dst := p[0], p[1]
+		k.checkVar(src)
+		k.checkVar(dst)
+		if usedDst[dst] {
+			return ReplaceMap{}, fmt.Errorf("bdd: duplicate replacement target %d", dst)
+		}
+		if usedSrc[src] {
+			return ReplaceMap{}, fmt.Errorf("bdd: duplicate replacement source %d", src)
+		}
+		usedDst[dst] = true
+		usedSrc[src] = true
+		target[src] = uint32(dst)
+		srcs = append(srcs, src)
+		if uint32(src) > last {
+			last = uint32(src)
+		}
+	}
+	sort.Ints(srcs)
+	prev := int64(-1)
+	for _, s := range srcs {
+		t := int64(target[s])
+		if t <= prev {
+			return ReplaceMap{}, ErrOrder
+		}
+		prev = t
+	}
+	k.replaceMaps = append(k.replaceMaps, replaceMap{target: target, lastLevel: last})
+	return ReplaceMap{id: int32(len(k.replaceMaps) - 1)}, nil
+}
+
+// Replace applies the interned substitution m to f: every variable u with a
+// mapping u→v is renamed to v. The operation is a single memoized pass over
+// f, which is why the paper's rename-based join rewrite beats conjunction
+// with equality BDDs.
+func (k *Kernel) Replace(f Ref, m ReplaceMap) Ref {
+	k.gcIfNeeded(f)
+	if int(m.id) >= len(k.replaceMaps) {
+		panic("bdd: replace map from a different kernel")
+	}
+	return k.replaceRec(f, m.id)
+}
+
+func (k *Kernel) replaceRec(f Ref, id int32) Ref {
+	if k.err != nil || f == Invalid {
+		return Invalid
+	}
+	if k.isTerminal(f) {
+		return f
+	}
+	rm := &k.replaceMaps[id]
+	if k.nodes[f].level > rm.lastLevel {
+		return f
+	}
+	k.appliedCount++
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(id)*0x85ebca6b ^ 0x7feb352d) & k.cacheMask
+	e := &k.replaceCache[slot]
+	if e.epoch == k.cacheEpoch && e.f == f && e.mapID == id {
+		k.cacheHits++
+		return e.res
+	}
+	n := &k.nodes[f]
+	level, lowIn, highIn := n.level, n.low, n.high
+	newLevel := uint32(level)
+	if int(level) < len(k.replaceMaps[id].target) {
+		newLevel = k.replaceMaps[id].target[level]
+	}
+	low := k.replaceRec(lowIn, id)
+	if low == Invalid {
+		return Invalid
+	}
+	high := k.replaceRec(highIn, id)
+	if high == Invalid {
+		return Invalid
+	}
+	// Runtime order check: the renamed node must still be above both
+	// (renamed) children, otherwise a single pass cannot express this
+	// substitution on this BDD.
+	if uint32(k.Level(low)) <= newLevel || uint32(k.Level(high)) <= newLevel {
+		k.err = ErrOrder
+		return Invalid
+	}
+	res := k.makeNode(newLevel, low, high)
+	if res == Invalid {
+		return Invalid
+	}
+	*e = replaceEntry{f: f, mapID: id, res: res, epoch: k.cacheEpoch}
+	return res
+}
+
+// Restrict returns the cofactor of f with the variables of assignment fixed
+// to the given values. The assignment is a list of (variable, value) pairs.
+func (k *Kernel) Restrict(f Ref, assignment []Literal) Ref {
+	k.gcIfNeeded(f)
+	if len(assignment) == 0 {
+		return f
+	}
+	val := make([]int8, k.numVars) // -1 unset is encoded as 0; use +1/+2
+	for _, lit := range assignment {
+		k.checkVar(lit.Var)
+		if lit.Value {
+			val[lit.Var] = 2
+		} else {
+			val[lit.Var] = 1
+		}
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(g Ref) Ref {
+		if k.err != nil || g == Invalid {
+			return Invalid
+		}
+		if k.isTerminal(g) {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := &k.nodes[g]
+		level, lowIn, highIn := n.level, n.low, n.high
+		var res Ref
+		switch val[level] {
+		case 2:
+			res = rec(highIn)
+		case 1:
+			res = rec(lowIn)
+		default:
+			low := rec(lowIn)
+			if low == Invalid {
+				return Invalid
+			}
+			high := rec(highIn)
+			if high == Invalid {
+				return Invalid
+			}
+			res = k.makeNode(level, low, high)
+		}
+		if res == Invalid {
+			return Invalid
+		}
+		memo[g] = res
+		return res
+	}
+	return rec(f)
+}
+
+// Literal is a variable with a truth value, used by Restrict, Minterm and
+// the satisfying-assignment enumerators.
+type Literal struct {
+	Var   int
+	Value bool
+}
+
+// Minterm builds the conjunction of the literals in a single bottom-up pass,
+// one makeNode per literal. It is the fast path for encoding a relational
+// tuple (the fdd layer batches an entire tuple's bits through here).
+func (k *Kernel) Minterm(lits []Literal) Ref {
+	sorted := make([]Literal, len(lits))
+	copy(sorted, lits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Var < sorted[j].Var })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Var == sorted[i-1].Var {
+			if sorted[i].Value != sorted[i-1].Value {
+				return False
+			}
+		}
+	}
+	acc := True
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if i+1 < len(sorted) && sorted[i].Var == sorted[i+1].Var {
+			continue
+		}
+		k.checkVar(sorted[i].Var)
+		if sorted[i].Value {
+			acc = k.makeNode(uint32(sorted[i].Var), False, acc)
+		} else {
+			acc = k.makeNode(uint32(sorted[i].Var), acc, False)
+		}
+		if acc == Invalid {
+			return Invalid
+		}
+	}
+	return acc
+}

@@ -1,0 +1,591 @@
+// Package core is the public face of the reproduction: the constraint
+// Checker. Given a catalog of tables, a set of logical indices and a set of
+// first-order constraints, it quickly identifies which constraints are
+// violated (the paper's headline problem), evaluating each constraint
+// against the BDD indices with the §4 rewrite rules and falling back to SQL
+// processing when an index is missing or the node budget is exceeded —
+// exactly the execution strategy of §4 and §5.2.
+//
+// Typical use:
+//
+//	cat := relation.NewCatalog()
+//	cust, _ := cat.CreateTable("CUST", []relation.Column{...})
+//	// ... load data ...
+//	chk := core.New(cat, core.Options{})
+//	chk.BuildIndex("CUST", "CUST", nil, core.OrderProbConverge)
+//	results := chk.Check(constraints)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/fdd"
+	"repro/internal/index"
+	"repro/internal/logic"
+	"repro/internal/ordering"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+// DefaultNodeBudget is the node threshold the paper selects in §5.2: large
+// enough for most constraints, small enough that explosions are detected
+// quickly.
+const DefaultNodeBudget = 1_000_000
+
+// OrderingMethod selects how BuildIndex orders the variable blocks.
+type OrderingMethod int
+
+// Ordering methods.
+const (
+	// OrderSchema keeps the schema column order.
+	OrderSchema OrderingMethod = iota
+	// OrderProbConverge uses the Prob-Converge heuristic (§3.2), the
+	// paper's recommended choice.
+	OrderProbConverge
+	// OrderMaxInfGain uses the information-gain heuristic (§3.1).
+	OrderMaxInfGain
+	// OrderRandom uses a random permutation (the "BDD: random" baseline of
+	// Table 1).
+	OrderRandom
+)
+
+func (m OrderingMethod) String() string {
+	switch m {
+	case OrderSchema:
+		return "schema"
+	case OrderProbConverge:
+		return "prob-converge"
+	case OrderMaxInfGain:
+		return "max-inf-gain"
+	case OrderRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("OrderingMethod(%d)", int(m))
+	}
+}
+
+// Options configures a Checker.
+type Options struct {
+	// NodeBudget bounds the shared BDD node table; DefaultNodeBudget when
+	// zero. Negative means unlimited.
+	NodeBudget int
+	// CacheSize is the kernel operation-cache size (entries per cache).
+	CacheSize int
+	// Eval selects the evaluation strategy; DefaultEvalOptions when zero.
+	Eval logic.EvalOptions
+	// RandomSeed seeds OrderRandom index builds.
+	RandomSeed int64
+	// NoFDFastPath disables the specialized functional-dependency check
+	// (projection + model counting on the index BDD, §5.2 / Figure 5(b))
+	// and forces FD constraints through the generic evaluator.
+	NoFDFastPath bool
+}
+
+// Method says how a constraint was validated.
+type Method string
+
+// Validation methods.
+const (
+	MethodBDD Method = "bdd"
+	MethodSQL Method = "sql"
+)
+
+// Result reports the validation of one constraint.
+type Result struct {
+	Constraint logic.Constraint
+	// Violated reports whether the constraint fails on the current data.
+	Violated bool
+	// Method says whether the BDD indices or the SQL fallback decided it.
+	Method Method
+	// FellBack is set when BDD evaluation was attempted but aborted (node
+	// budget) or impossible (missing index), and SQL took over.
+	FellBack bool
+	// FallbackReason carries the error that caused the fallback.
+	FallbackReason error
+	// Duration is the wall-clock validation time.
+	Duration time.Duration
+	// Err is set when validation failed outright (e.g. analysis errors).
+	Err error
+}
+
+// Checker validates constraints against a catalog using logical indices.
+type Checker struct {
+	catalog *relation.Catalog
+	store   *index.Store
+	ev      *logic.Evaluator
+	opts    Options
+	rng     *rand.Rand
+	// indexRegistry maps table name → names of indices built over it, for
+	// incremental maintenance.
+	indexRegistry map[string][]string
+	stats         Stats
+}
+
+// Stats counts how the checker decided constraints since creation.
+type Stats struct {
+	// BDDChecks counts constraints decided by the generic BDD evaluator.
+	BDDChecks int
+	// FDFastPath counts constraints decided by the FD projection fast path.
+	FDFastPath int
+	// SQLFallbacks counts constraints that fell back to the SQL engine
+	// (missing index or exceeded node budget).
+	SQLFallbacks int
+	// Errors counts constraints whose validation failed outright.
+	Errors int
+}
+
+// Stats returns the checker's decision counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// New creates a Checker over the catalog.
+func New(catalog *relation.Catalog, opts Options) *Checker {
+	budget := opts.NodeBudget
+	switch {
+	case budget == 0:
+		budget = DefaultNodeBudget
+	case budget < 0:
+		budget = 0 // unlimited
+	}
+	store := index.NewStore(index.Options{NodeBudget: budget, CacheSize: opts.CacheSize})
+	zero := logic.EvalOptions{}
+	if opts.Eval == zero {
+		opts.Eval = logic.DefaultEvalOptions()
+	}
+	c := &Checker{
+		catalog:       catalog,
+		store:         store,
+		opts:          opts,
+		rng:           rand.New(rand.NewSource(opts.RandomSeed + 1)),
+		indexRegistry: make(map[string][]string),
+	}
+	c.ev = logic.NewEvaluator(store, resolver{c}, opts.Eval)
+	return c
+}
+
+// Catalog returns the underlying catalog.
+func (c *Checker) Catalog() *relation.Catalog { return c.catalog }
+
+// Store returns the underlying index store.
+func (c *Checker) Store() *index.Store { return c.store }
+
+// Evaluator returns the BDD constraint evaluator.
+func (c *Checker) Evaluator() *logic.Evaluator { return c.ev }
+
+// Resolver returns the checker's predicate resolver (index names first,
+// then table names), for use with logic.Analyze or sqlengine.Compile.
+func (c *Checker) Resolver() logic.Resolver { return resolver{c} }
+
+// resolver resolves predicate names: an index name wins (predicates then
+// range over the indexed projection), otherwise a table name with full
+// schema arity.
+type resolver struct{ c *Checker }
+
+// ResolvePred implements logic.Resolver.
+func (r resolver) ResolvePred(name string, arity int) (*relation.Table, []int, error) {
+	if ix := r.c.store.Index(name); ix != nil {
+		if arity != len(ix.Columns()) {
+			return nil, nil, fmt.Errorf("core: index %q covers %d columns, predicate written with %d arguments",
+				name, len(ix.Columns()), arity)
+		}
+		return ix.Table(), ix.Columns(), nil
+	}
+	return logic.CatalogResolver{Catalog: r.c.catalog}.ResolvePred(name, arity)
+}
+
+// BuildIndex builds a logical index named name over the given columns of
+// table (all columns when cols is nil), choosing the variable-block layout
+// with the given ordering method. The index name doubles as a predicate
+// name in constraints.
+func (c *Checker) BuildIndex(name, table string, cols []string, method OrderingMethod) (*index.Index, error) {
+	t := c.catalog.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("core: unknown table %q", table)
+	}
+	colIdx := make([]int, 0, t.NumCols())
+	if cols == nil {
+		for i := 0; i < t.NumCols(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range cols {
+			i := t.ColumnIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("core: table %q has no column %q", table, name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+	order, err := c.orderFor(t, colIdx, method)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := c.store.Build(name, t, colIdx, order)
+	if err != nil {
+		return nil, err
+	}
+	c.indexRegistry[table] = append(c.indexRegistry[table], name)
+	return ix, nil
+}
+
+// orderFor computes a variable ordering (a permutation of positions into
+// cols) for the projection of t onto cols.
+func (c *Checker) orderFor(t *relation.Table, cols []int, method OrderingMethod) ([]int, error) {
+	switch method {
+	case OrderSchema:
+		return nil, nil
+	case OrderRandom:
+		return ordering.Random(c.rng, len(cols)), nil
+	case OrderProbConverge, OrderMaxInfGain:
+		proj, err := projectionTable(c.catalog, t, cols)
+		if err != nil {
+			return nil, err
+		}
+		if method == OrderProbConverge {
+			return ordering.ProbConverge(proj, nil), nil
+		}
+		return ordering.MaxInfGain(proj), nil
+	default:
+		return nil, fmt.Errorf("core: unknown ordering method %v", method)
+	}
+}
+
+// projectionTable materializes the projection of t onto cols as an
+// anonymous table for the statistics computations.
+func projectionTable(cat *relation.Catalog, t *relation.Table, cols []int) (*relation.Table, error) {
+	if len(cols) == t.NumCols() {
+		schema := true
+		for i, c := range cols {
+			if c != i {
+				schema = false
+				break
+			}
+		}
+		if schema {
+			return t, nil
+		}
+	}
+	specs := make([]relation.Column, len(cols))
+	names := t.ColumnNames()
+	for i, col := range cols {
+		specs[i] = relation.Column{Name: names[col], Domain: t.ColumnDomain(col).Name()}
+	}
+	proj, err := cat.CreateTable(fmt.Sprintf("%s$proj%d", t.Name(), len(cat.Tables())), specs)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < t.Len(); r++ {
+		row := t.Row(r)
+		enc := make([]int32, len(cols))
+		for i, col := range cols {
+			enc[i] = row[col]
+		}
+		proj.InsertCodes(enc)
+	}
+	return proj, nil
+}
+
+// CheckOne validates a single constraint: functional dependencies go
+// through the projection-and-counting fast path of Figure 5(b), everything
+// else through generic BDD evaluation, with SQL fallback on missing index
+// or exceeded node budget.
+func (c *Checker) CheckOne(ct logic.Constraint) Result {
+	if !c.opts.NoFDFastPath {
+		if res, ok := c.tryFDFastPath(ct); ok {
+			c.stats.FDFastPath++
+			return res
+		}
+	}
+	start := time.Now()
+	res := Result{Constraint: ct, Method: MethodBDD}
+	out, err := c.ev.Eval(ct)
+	if err == nil {
+		c.stats.BDDChecks++
+		res.Violated = !out.Holds
+		res.Duration = time.Since(start)
+		return res
+	}
+	if !errors.Is(err, logic.ErrNoIndex) && !errors.Is(err, bdd.ErrBudget) {
+		c.stats.Errors++
+		res.Err = err
+		res.Duration = time.Since(start)
+		return res
+	}
+	c.stats.SQLFallbacks++
+	res.Method = MethodSQL
+	res.FellBack = true
+	res.FallbackReason = err
+	q, err := sqlengine.Compile(ct, resolver{c})
+	if err != nil {
+		c.stats.Errors++
+		res.Err = err
+		res.Duration = time.Since(start)
+		return res
+	}
+	violated, _, err := q.Run()
+	if err != nil {
+		c.stats.Errors++
+		res.Err = err
+	}
+	res.Violated = violated
+	res.Duration = time.Since(start)
+	return res
+}
+
+// tryFDFastPath checks a functional-dependency constraint by projection and
+// model counting on the index BDD: project the index onto determinant +
+// dependent columns, count the distinct projected tuples, project the
+// dependent away, count again — the FD holds iff the two counts coincide.
+// This is the Figure 5(b) strategy ("projection of suitable attributes to
+// construct new BDDs and manipulation of the resulting BDDs").
+func (c *Checker) tryFDFastPath(ct logic.Constraint) (Result, bool) {
+	fd, ok := logic.DetectFD(ct.F)
+	if !ok {
+		return Result{}, false
+	}
+	ix := c.store.Index(fd.Pred)
+	if ix == nil || len(ix.Domains()) != fd.Arity {
+		return Result{}, false
+	}
+	start := time.Now()
+	k := c.store.Kernel()
+	mark := k.TempMark()
+	defer k.TempRelease(mark)
+	doms := ix.Domains()
+	keep := make(map[int]bool, len(fd.Determinant)+1)
+	for _, i := range fd.Determinant {
+		keep[i] = true
+	}
+	keep[fd.Dependent] = true
+	var drop []*fdd.Domain
+	var pairVars, detVars []int
+	for i, d := range doms {
+		if !keep[i] {
+			drop = append(drop, d)
+			continue
+		}
+		pairVars = append(pairVars, d.Vars()...)
+		if i != fd.Dependent {
+			detVars = append(detVars, d.Vars()...)
+		}
+	}
+	sort.Ints(pairVars)
+	sort.Ints(detVars)
+	pairsBDD := ix.Root()
+	if len(drop) > 0 {
+		pairsBDD = fdd.Exists(pairsBDD, drop...)
+		if pairsBDD == bdd.Invalid {
+			c.ev.Recover()
+			return Result{}, false // budget hit; let the generic path decide
+		}
+	}
+	k.TempKeep(pairsBDD)
+	groupsBDD := fdd.Exists(pairsBDD, doms[fd.Dependent])
+	if groupsBDD == bdd.Invalid {
+		c.ev.Recover()
+		return Result{}, false
+	}
+	k.TempKeep(groupsBDD)
+	pairs := k.SatCountWithin(pairsBDD, pairVars)
+	groups := k.SatCountWithin(groupsBDD, detVars)
+	return Result{
+		Constraint: ct,
+		Method:     MethodBDD,
+		Violated:   pairs > groups,
+		Duration:   time.Since(start),
+	}, true
+}
+
+// Check validates every constraint and returns per-constraint results in
+// input order.
+func (c *Checker) Check(cs []logic.Constraint) []Result {
+	out := make([]Result, len(cs))
+	for i, ct := range cs {
+		out[i] = c.CheckOne(ct)
+	}
+	return out
+}
+
+// Witness is one violating binding of a constraint's leading universally
+// quantified variables.
+type Witness struct {
+	Vars   []string
+	Values []string
+}
+
+// ViolationWitnesses extracts up to limit violating bindings from the BDD
+// evaluation of a violated constraint (the paper proposes identifying the
+// violated constraints fast, then drilling into tuples; the violation BDD
+// gives the drill-down for free). It returns ErrNoIndex/ErrBudget like
+// Eval; callers then use ViolatingRows.
+func (c *Checker) ViolationWitnesses(ct logic.Constraint, limit int) ([]Witness, error) {
+	out, err := c.ev.Eval(ct)
+	if err != nil {
+		return nil, err
+	}
+	if out.Mode != logic.CheckValidity {
+		return nil, fmt.Errorf("core: constraint %s is an existence check; it has no per-binding witnesses", ct.Name)
+	}
+	if out.Holds || limit == 0 {
+		return nil, nil
+	}
+	an, err := logic.Analyze(ct.F, resolver{c})
+	if err != nil {
+		return nil, err
+	}
+	k := c.store.Kernel()
+	blocks := make([]*fdd.Domain, len(out.Stripped))
+	valueDoms := make([]*relation.Domain, len(out.Stripped))
+	varNames := make([]string, len(out.Stripped))
+	for i, v := range out.Stripped {
+		blocks[i] = out.Blocks[v]
+		valueDoms[i] = an.Domain(v)
+		varNames[i] = logic.BaseName(v)
+	}
+	var witnesses []Witness
+	k.AllSat(out.Violations, func(path []bdd.Literal) bool {
+		fixed := make(map[int]bool, len(path))
+		for _, l := range path {
+			fixed[l.Var] = l.Value
+		}
+		// Expand don't-care bits block by block, bounded by limit.
+		vals := make([]int, len(blocks))
+		var expand func(bi int) bool
+		expand = func(bi int) bool {
+			if bi == len(blocks) {
+				w := Witness{Vars: varNames, Values: make([]string, len(blocks))}
+				for i, d := range valueDoms {
+					if d != nil && vals[i] < d.Size() {
+						w.Values[i] = d.Value(int32(vals[i]))
+					} else {
+						w.Values[i] = fmt.Sprintf("#%d", vals[i])
+					}
+				}
+				witnesses = append(witnesses, w)
+				return len(witnesses) < limit
+			}
+			b := blocks[bi]
+			// Collect the fixed bits and the positions (bit weights) of the
+			// free bits of this block on the current path.
+			base := 0
+			var freeWeights []int
+			for j, bit := range b.Vars() {
+				weight := b.Bits() - 1 - j
+				if val, ok := fixed[bit]; ok {
+					if val {
+						base |= 1 << weight
+					}
+				} else {
+					freeWeights = append(freeWeights, weight)
+				}
+			}
+			var enum func(v int, free []int) bool
+			enum = func(v int, free []int) bool {
+				if len(free) == 0 {
+					if v >= b.Size() {
+						return true // out-of-domain slot, skip
+					}
+					vals[bi] = v
+					return expand(bi + 1)
+				}
+				if !enum(v, free[1:]) {
+					return false
+				}
+				return enum(v|1<<free[0], free[1:])
+			}
+			return enum(base, freeWeights)
+		}
+		return expand(0)
+	})
+	return witnesses, nil
+}
+
+// ViolatingRows runs the compiled SQL violation query and returns the
+// violating bindings — the precise-tuple identification step the paper
+// performs with SQL after a constraint is known to be violated.
+func (c *Checker) ViolatingRows(ct logic.Constraint) (*sqlengine.Rows, error) {
+	q, err := sqlengine.Compile(ct, resolver{c})
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := q.Run()
+	return rows, err
+}
+
+// SQLOf renders the violation query of a constraint in explanatory SQL.
+func (c *Checker) SQLOf(ct logic.Constraint) (string, error) {
+	q, err := sqlengine.Compile(ct, resolver{c})
+	if err != nil {
+		return "", err
+	}
+	return q.SQL(), nil
+}
+
+// InsertTuple inserts into the table and updates every index over it.
+func (c *Checker) InsertTuple(table string, vals ...string) error {
+	t := c.catalog.Table(table)
+	if t == nil {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	row := t.Insert(vals...)
+	return c.updateIndices(t, func(ix *index.Index) error { return ix.Insert(row) })
+}
+
+// DeleteTuple deletes from the table and updates every index over it,
+// respecting bag semantics (the index keeps the tuple while duplicates
+// remain).
+func (c *Checker) DeleteTuple(table string, vals ...string) error {
+	t := c.catalog.Table(table)
+	if t == nil {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	row := make([]int32, len(vals))
+	for i, v := range vals {
+		code, ok := t.ColumnDomain(i).Code(v)
+		if !ok {
+			return fmt.Errorf("core: value %q not present in %s column %d", v, table, i)
+		}
+		row[i] = code
+	}
+	if !t.DeleteCodes(row) {
+		return fmt.Errorf("core: tuple not found in %s", table)
+	}
+	return c.updateIndices(t, func(ix *index.Index) error {
+		still := projectionPresent(t, ix.Columns(), row)
+		return ix.Delete(row, still)
+	})
+}
+
+func projectionPresent(t *relation.Table, cols []int, row []int32) bool {
+	for i := 0; i < t.Len(); i++ {
+		r := t.Row(i)
+		same := true
+		for _, c := range cols {
+			if r[c] != row[c] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Checker) updateIndices(t *relation.Table, update func(*index.Index) error) error {
+	for _, name := range c.indexNamesFor(t) {
+		if err := update(c.store.Index(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Checker) indexNamesFor(t *relation.Table) []string {
+	return c.indexRegistry[t.Name()]
+}

@@ -1,0 +1,335 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+// differential_test.go cross-checks the three constraint evaluation paths —
+// BDD logical indices (under every optimization configuration), the SQL
+// baseline engine, and a brute-force model checker — on hundreds of random
+// databases and random well-typed constraints. Any disagreement is a bug in
+// one of the engines.
+
+type diffSchema struct {
+	cat    *relation.Catalog
+	tables []*relation.Table
+}
+
+// newDiffSchema builds three tables sharing domains pairwise, with random
+// contents:
+//
+//	R(a:D1, b:D2)   S(b:D2, c:D3)   T(a:D1, c:D3)
+func newDiffSchema(rng *rand.Rand) *diffSchema {
+	cat := relation.NewCatalog()
+	mk := func(name string, cols ...relation.Column) *relation.Table {
+		t, err := cat.CreateTable(name, cols)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	r := mk("R", relation.Column{Name: "a", Domain: "D1"}, relation.Column{Name: "b", Domain: "D2"})
+	s := mk("S", relation.Column{Name: "b", Domain: "D2"}, relation.Column{Name: "c", Domain: "D3"})
+	tt := mk("T", relation.Column{Name: "a", Domain: "D1"}, relation.Column{Name: "c", Domain: "D3"})
+	// Intern full domains first so all engines range over identical active
+	// domains (sizes chosen to be non-powers of two to exercise the
+	// domain-guard logic).
+	sizes := map[string]int{"D1": 5, "D2": 3, "D3": 6}
+	val := func(dom string, i int) string { return fmt.Sprintf("%s_%d", dom, i) }
+	for dom, n := range sizes {
+		d := cat.Domain(dom)
+		for i := 0; i < n; i++ {
+			d.Intern(val(dom, i))
+		}
+	}
+	fill := func(t *relation.Table, d1, d2 string, density float64) {
+		n1, n2 := sizes[d1], sizes[d2]
+		for i := 0; i < n1; i++ {
+			for j := 0; j < n2; j++ {
+				if rng.Float64() < density {
+					t.Insert(val(d1, i), val(d2, j))
+				}
+			}
+		}
+	}
+	fill(r, "D1", "D2", 0.4)
+	fill(s, "D2", "D3", 0.4)
+	fill(tt, "D1", "D3", 0.3)
+	return &diffSchema{cat: cat, tables: []*relation.Table{r, s, tt}}
+}
+
+// typed variable pool: name → domain name.
+var diffVars = map[string]string{
+	"x1": "D1", "x2": "D1",
+	"y1": "D2", "y2": "D2",
+	"z1": "D3", "z2": "D3",
+}
+
+var diffVarNames = []string{"x1", "x2", "y1", "y2", "z1", "z2"}
+
+type diffGen struct {
+	rng *rand.Rand
+	cat *relation.Catalog
+}
+
+func (g *diffGen) varOf(dom string) string {
+	for {
+		v := diffVarNames[g.rng.Intn(len(diffVarNames))]
+		if diffVars[v] == dom {
+			return v
+		}
+	}
+}
+
+func (g *diffGen) term(dom string) logic.Term {
+	if g.rng.Intn(4) == 0 {
+		d := g.cat.Domain(dom)
+		return logic.Const{Value: d.Value(int32(g.rng.Intn(d.Size())))}
+	}
+	return logic.Var{Name: g.varOf(dom)}
+}
+
+func (g *diffGen) atom() logic.Formula {
+	switch g.rng.Intn(6) {
+	case 0:
+		return logic.Pred{Table: "R", Args: []logic.Term{g.term("D1"), g.term("D2")}}
+	case 1:
+		return logic.Pred{Table: "S", Args: []logic.Term{g.term("D2"), g.term("D3")}}
+	case 2:
+		return logic.Pred{Table: "T", Args: []logic.Term{g.term("D1"), g.term("D3")}}
+	case 3:
+		dom := []string{"D1", "D2", "D3"}[g.rng.Intn(3)]
+		return logic.Eq{L: logic.Var{Name: g.varOf(dom)}, R: g.term(dom)}
+	case 4:
+		dom := []string{"D1", "D2", "D3"}[g.rng.Intn(3)]
+		return logic.Neq{L: logic.Var{Name: g.varOf(dom)}, R: g.term(dom)}
+	default:
+		dom := []string{"D1", "D2", "D3"}[g.rng.Intn(3)]
+		d := g.cat.Domain(dom)
+		n := 1 + g.rng.Intn(3)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = d.Value(int32(g.rng.Intn(d.Size())))
+		}
+		return logic.In{T: logic.Var{Name: g.varOf(dom)}, Values: vals}
+	}
+}
+
+func (g *diffGen) formula(depth int) logic.Formula {
+	if depth <= 0 {
+		return g.atom()
+	}
+	switch g.rng.Intn(8) {
+	case 0:
+		return logic.Not{F: g.formula(depth - 1)}
+	case 1:
+		return logic.And{L: g.formula(depth - 1), R: g.formula(depth - 1)}
+	case 2:
+		return logic.Or{L: g.formula(depth - 1), R: g.formula(depth - 1)}
+	case 3:
+		return logic.Implies{L: g.formula(depth - 1), R: g.formula(depth - 1)}
+	case 4, 5:
+		v := diffVarNames[g.rng.Intn(len(diffVarNames))]
+		return logic.Quant{All: g.rng.Intn(2) == 0, Vars: []string{v}, F: g.formula(depth - 1)}
+	default:
+		return g.atom()
+	}
+}
+
+// bruteCheck decides a closed, analyzed constraint by direct model checking
+// over the active domains.
+func bruteCheck(an *logic.Analysis, cat *relation.Catalog) bool {
+	var eval func(f logic.Formula, b map[string]int32) bool
+	termVal := func(t logic.Term, dom *relation.Domain, b map[string]int32) (int32, bool) {
+		switch x := t.(type) {
+		case logic.Var:
+			return b[x.Name], true
+		case logic.Const:
+			return dom.Code(x.Value)
+		}
+		panic("bad term")
+	}
+	eval = func(f logic.Formula, b map[string]int32) bool {
+		switch g := f.(type) {
+		case logic.Truth:
+			return g.Value
+		case logic.Pred:
+			bind := an.Preds[g.Table]
+			for r := 0; r < bind.Table.Len(); r++ {
+				row := bind.Table.Row(r)
+				ok := true
+				for i, arg := range g.Args {
+					col := bind.Cols[i]
+					v, present := termVal(arg, bind.Table.ColumnDomain(col), b)
+					if !present || row[col] != v {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true
+				}
+			}
+			return false
+		case logic.Eq:
+			dom := domOfTerm(an, g.L, g.R)
+			lv, lok := termVal(g.L, dom, b)
+			rv, rok := termVal(g.R, dom, b)
+			return lok && rok && lv == rv
+		case logic.Neq:
+			dom := domOfTerm(an, g.L, g.R)
+			lv, lok := termVal(g.L, dom, b)
+			rv, rok := termVal(g.R, dom, b)
+			if !lok || !rok {
+				return true // an unknown constant differs from everything
+			}
+			return lv != rv
+		case logic.In:
+			v := g.T.(logic.Var)
+			dom := an.Domain(v.Name)
+			for _, s := range g.Values {
+				if c, ok := dom.Code(s); ok && c == b[v.Name] {
+					return true
+				}
+			}
+			return false
+		case logic.Not:
+			return !eval(g.F, b)
+		case logic.And:
+			return eval(g.L, b) && eval(g.R, b)
+		case logic.Or:
+			return eval(g.L, b) || eval(g.R, b)
+		case logic.Implies:
+			return !eval(g.L, b) || eval(g.R, b)
+		case logic.Quant:
+			var rec func(i int) bool
+			rec = func(i int) bool {
+				if i == len(g.Vars) {
+					return eval(g.F, b)
+				}
+				v := g.Vars[i]
+				dom := an.Domain(v)
+				saved, had := b[v]
+				defer func() {
+					if had {
+						b[v] = saved
+					} else {
+						delete(b, v)
+					}
+				}()
+				for c := 0; c < dom.Size(); c++ {
+					b[v] = int32(c)
+					r := rec(i + 1)
+					if g.All && !r {
+						return false
+					}
+					if !g.All && r {
+						return true
+					}
+				}
+				return g.All
+			}
+			return rec(0)
+		default:
+			panic(fmt.Sprintf("bad formula %T", f))
+		}
+	}
+	return eval(an.F, map[string]int32{})
+}
+
+func domOfTerm(an *logic.Analysis, l, r logic.Term) *relation.Domain {
+	if v, ok := l.(logic.Var); ok {
+		if d := an.Domain(v.Name); d != nil {
+			return d
+		}
+	}
+	if v, ok := r.(logic.Var); ok {
+		if d := an.Domain(v.Name); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestDifferentialBDDvsSQLvsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	evalConfigs := []logic.EvalOptions{
+		logic.DefaultEvalOptions(),
+		{Rewrite: logic.RewriteOptions{Prenex: true, PushForall: true}, UseAppQuant: false, RenameJoin: true, EarlyProject: false},
+		{Rewrite: logic.RewriteOptions{Prenex: true, PushForall: false}, UseAppQuant: true, RenameJoin: false, EarlyProject: true},
+		{Rewrite: logic.RewriteOptions{Prenex: false, PushForall: false}, UseAppQuant: false, RenameJoin: false, EarlyProject: false},
+		{Rewrite: logic.RewriteOptions{Prenex: false, PushForall: true}, UseAppQuant: true, RenameJoin: true, EarlyProject: true},
+	}
+	trials := 150
+	if testing.Short() {
+		trials = 30
+	}
+	for trial := 0; trial < trials; trial++ {
+		schema := newDiffSchema(rng)
+		gen := &diffGen{rng: rng, cat: schema.cat}
+		var checkers []*core.Checker
+		for ci, opts := range evalConfigs {
+			chk := core.New(schema.cat, core.Options{Eval: opts, RandomSeed: int64(trial)})
+			method := core.OrderingMethod(ci % 4) // vary ordering methods too
+			for _, tbl := range schema.tables {
+				if _, err := chk.BuildIndex(tbl.Name(), tbl.Name(), nil, method); err != nil {
+					t.Fatalf("trial %d: BuildIndex(%s): %v", trial, tbl.Name(), err)
+				}
+			}
+			checkers = append(checkers, chk)
+		}
+		for q := 0; q < 6; q++ {
+			// Generate until the formula passes analysis (the generator can
+			// produce range-unbounded variables, which Analyze rejects by
+			// design).
+			var f logic.Formula
+			var an *logic.Analysis
+			for {
+				f = gen.formula(3)
+				var err error
+				an, err = logic.Analyze(f, logic.CatalogResolver{Catalog: schema.cat})
+				if err == nil {
+					break
+				}
+			}
+			ct := logic.Constraint{Name: fmt.Sprintf("t%d_q%d", trial, q), F: f}
+			want := bruteCheck(an, schema.cat)
+
+			// SQL path.
+			query, err := sqlengine.Compile(ct, logic.CatalogResolver{Catalog: schema.cat})
+			if err != nil {
+				t.Fatalf("trial %d q%d: sql compile: %v\nformula: %s", trial, q, err, f)
+			}
+			violated, _, err := query.Run()
+			if err != nil {
+				t.Fatalf("trial %d q%d: sql run: %v\nformula: %s", trial, q, err, f)
+			}
+			if violated == want {
+				t.Fatalf("trial %d q%d: SQL says violated=%v, brute force says holds=%v\nformula: %s\nplan:\n%s",
+					trial, q, violated, want, f, query.SQL())
+			}
+
+			// BDD paths under every optimization configuration.
+			for ci, chk := range checkers {
+				res := chk.CheckOne(ct)
+				if res.Err != nil {
+					t.Fatalf("trial %d q%d cfg%d: %v\nformula: %s", trial, q, ci, res.Err, f)
+				}
+				if res.FellBack {
+					t.Fatalf("trial %d q%d cfg%d: unexpected fallback: %v", trial, q, ci, res.FallbackReason)
+				}
+				if res.Violated == want {
+					t.Fatalf("trial %d q%d cfg%d (%+v): BDD says violated=%v, brute force says holds=%v\nformula: %s",
+						trial, q, ci, evalConfigs[ci], res.Violated, want, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+// TestFDFastPathAgreesWithGenericAndSQL cross-checks the three FD
+// evaluation strategies (projection+counting fast path, generic BDD
+// self-join, SQL group-by) on randomized tables, with and without planted
+// violations.
+func TestFDFastPathAgreesWithGenericAndSQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		cat := relation.NewCatalog()
+		tbl, err := cat.CreateTable("R", []relation.Column{
+			{Name: "k", Domain: "k"}, {Name: "pad", Domain: "pad"}, {Name: "v", Domain: "v"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nKeys := 3 + rng.Intn(20)
+		violate := rng.Intn(2) == 0
+		for i := 0; i < 120; i++ {
+			key := rng.Intn(nKeys)
+			val := key % 7 // v functionally determined by k
+			tbl.Insert(fmt.Sprintf("k%d", key), fmt.Sprintf("p%d", rng.Intn(5)), fmt.Sprintf("v%d", val))
+		}
+		if violate {
+			tbl.Insert("k0", "p0", "v6") // breaks k0 → v0
+		}
+		f, err := logic.Parse(`forall k, v1, v2: R(k, _, v1) and R(k, _, v2) => v1 = v2`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := logic.Constraint{Name: "fd", F: f}
+
+		fast := core.New(cat, core.Options{})
+		if _, err := fast.BuildIndex("R", "R", nil, core.OrderProbConverge); err != nil {
+			t.Fatal(err)
+		}
+		generic := core.New(cat, core.Options{NoFDFastPath: true})
+		if _, err := generic.BuildIndex("R", "R", nil, core.OrderMaxInfGain); err != nil {
+			t.Fatal(err)
+		}
+		rFast := fast.CheckOne(ct)
+		rGen := generic.CheckOne(ct)
+		sqlViolated := sqlengine.CheckFD(tbl, []int{0}, []int{2})
+		if rFast.Err != nil || rGen.Err != nil {
+			t.Fatalf("trial %d: errs %v / %v", trial, rFast.Err, rGen.Err)
+		}
+		if rFast.Violated != violate || rGen.Violated != violate || sqlViolated != violate {
+			t.Fatalf("trial %d (violate=%v): fast=%v generic=%v sql=%v",
+				trial, violate, rFast.Violated, rGen.Violated, sqlViolated)
+		}
+	}
+}
+
+// TestDetectFD covers the pattern matcher.
+func TestDetectFD(t *testing.T) {
+	parse := func(src string) logic.Formula {
+		f, err := logic.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return f
+	}
+	fd, ok := logic.DetectFD(parse(`forall a, s1, s2: NCS(a, _, s1) and NCS(a, _, s2) => s1 = s2`))
+	if !ok {
+		t.Fatal("FD not detected")
+	}
+	if fd.Pred != "NCS" || fd.Arity != 3 || fd.Dependent != 2 ||
+		len(fd.Determinant) != 1 || fd.Determinant[0] != 0 {
+		t.Fatalf("wrong FD: %+v", fd)
+	}
+	// Two-column determinant.
+	fd, ok = logic.DetectFD(parse(`forall a, b, v, w: T(a, b, v) and T(a, b, w) => v = w`))
+	if !ok || len(fd.Determinant) != 2 || fd.Dependent != 2 {
+		t.Fatalf("two-column FD: ok=%v %+v", ok, fd)
+	}
+	// Non-FDs must not match.
+	for _, src := range []string{
+		`forall a, s: NCS(a, _, s) => s = "x"`,
+		`forall a, s1, s2: NCS(a, _, s1) and NCS(a, _, s2) => s1 != s2`,
+		`forall a, s1, s2: NCS(a, _, s1) or NCS(a, _, s2) => s1 = s2`,
+		`forall a, b, s1, s2: NCS(a, _, s1) and NCS(b, _, s2) => s1 = s2`,
+		`forall a, s1, s2, z: NCS(a, z, s1) and NCS(a, z, s2) => s1 = z`,
+		`forall a, s1, s2: NCS(a, "c", s1) and NCS(a, "c", s2) => s1 = s2`,
+	} {
+		if _, ok := logic.DetectFD(parse(src)); ok {
+			t.Errorf("false positive: %s", src)
+		}
+	}
+	// A conditioned variant with shared wildcard-free positions matches
+	// when the middle column is part of the determinant.
+	fd, ok = logic.DetectFD(parse(`forall a, c, s1, s2: NCS(a, c, s1) and NCS(a, c, s2) => s1 = s2`))
+	if !ok || len(fd.Determinant) != 2 {
+		t.Fatalf("shared-position FD: ok=%v %+v", ok, fd)
+	}
+}

@@ -1,0 +1,187 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// customers.go synthesizes the paper's real dataset: "a database of 406,769
+// customers from US and Canada having the schema (areacode, number, city,
+// state, zipcode); the size of the active domain for each attribute is
+// (281, 889, 10894, 50, 17557)". The generator reproduces the schema, the
+// active-domain sizes and the functional structure the paper's constraints
+// exploit (city determines state, areacode is tied to a state, zipcodes
+// belong to cities), with a configurable noise rate that plants constraint
+// violations.
+
+// Active-domain sizes of the paper's customer dataset.
+const (
+	NumAreacodes = 281
+	NumNumbers   = 889
+	NumCities    = 10894
+	NumStates    = 50
+	NumZipcodes  = 17557
+	NumCustomers = 406769
+)
+
+// CustomerSpec configures the generator.
+type CustomerSpec struct {
+	// Tuples is the relation size (NumCustomers by default).
+	Tuples int
+	// NoiseRate is the fraction of tuples whose state or areacode is
+	// scrambled, planting violations of the natural constraints. Zero
+	// produces a consistent database.
+	NoiseRate float64
+}
+
+// CustomerData is the generated dataset plus the ground-truth mappings the
+// constraint workloads are derived from.
+type CustomerData struct {
+	Table *relation.Table
+	// CityState maps each city index to its state index.
+	CityState []int
+	// AreaState maps each areacode index to its state index.
+	AreaState []int
+	// CityZips maps each city index to its zipcode indices.
+	CityZips [][]int
+	// StateAreas maps each state index to its areacode indices.
+	StateAreas [][]int
+}
+
+// Value renderers for the customer schema.
+func AreacodeName(i int) string { return fmt.Sprintf("%03d", 200+i) }
+func NumberName(i int) string   { return fmt.Sprintf("555%04d", i) }
+func CityName(i int) string     { return fmt.Sprintf("city%05d", i) }
+func StateName(i int) string    { return fmt.Sprintf("S%02d", i) }
+func ZipcodeName(i int) string  { return fmt.Sprintf("Z%05d", i) }
+
+// Customers generates the synthetic customer table into the catalog under
+// the given name. All attribute values are interned up front so the active
+// domains (and hence the 29- and 35-variable encodings of the paper's two
+// indices) are independent of the sample.
+func Customers(cat *relation.Catalog, name string, spec CustomerSpec, rng *rand.Rand) (*CustomerData, error) {
+	if spec.Tuples == 0 {
+		spec.Tuples = NumCustomers
+	}
+	t, err := cat.CreateTable(name, []relation.Column{
+		{Name: "areacode", Domain: name + ".areacode"},
+		{Name: "number", Domain: name + ".number"},
+		{Name: "city", Domain: name + ".city"},
+		{Name: "state", Domain: name + ".state"},
+		{Name: "zipcode", Domain: name + ".zipcode"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	intern := func(dom string, n int, render func(int) string) {
+		d := cat.Domain(name + "." + dom)
+		for i := 0; i < n; i++ {
+			d.Intern(render(i))
+		}
+	}
+	intern("areacode", NumAreacodes, AreacodeName)
+	intern("number", NumNumbers, NumberName)
+	intern("city", NumCities, CityName)
+	intern("state", NumStates, StateName)
+	intern("zipcode", NumZipcodes, ZipcodeName)
+
+	data := &CustomerData{
+		Table:      t,
+		CityState:  make([]int, NumCities),
+		AreaState:  make([]int, NumAreacodes),
+		CityZips:   make([][]int, NumCities),
+		StateAreas: make([][]int, NumStates),
+	}
+	// Areacodes per state: every state gets at least one; the rest follow a
+	// skewed assignment (populous states own more codes).
+	for a := 0; a < NumAreacodes; a++ {
+		s := a % NumStates
+		if a >= NumStates {
+			s = skewedState(rng)
+		}
+		data.AreaState[a] = s
+		data.StateAreas[s] = append(data.StateAreas[s], a)
+	}
+	// Cities per state, zipcodes per city.
+	for c := 0; c < NumCities; c++ {
+		data.CityState[c] = skewedState(rng)
+	}
+	for z := 0; z < NumZipcodes; z++ {
+		c := z % NumCities // every city has at least one zipcode
+		if z >= NumCities {
+			c = rng.Intn(NumCities)
+		}
+		data.CityZips[c] = append(data.CityZips[c], z)
+	}
+	// Customers: pick a city with skew, derive everything else.
+	row := make([]int32, 5)
+	for n := 0; n < spec.Tuples; n++ {
+		city := skewedCity(rng)
+		state := data.CityState[city]
+		areas := data.StateAreas[state]
+		area := areas[rng.Intn(len(areas))]
+		zips := data.CityZips[city]
+		zip := zips[rng.Intn(len(zips))]
+		number := rng.Intn(NumNumbers)
+		if spec.NoiseRate > 0 && rng.Float64() < spec.NoiseRate {
+			// Scramble either the state or the areacode.
+			if rng.Intn(2) == 0 {
+				state = rng.Intn(NumStates)
+			} else {
+				area = rng.Intn(NumAreacodes)
+			}
+		}
+		row[0] = int32(area)
+		row[1] = int32(number)
+		row[2] = int32(city)
+		row[3] = int32(state)
+		row[4] = int32(zip)
+		t.InsertCodes(row)
+	}
+	return data, nil
+}
+
+// skewedState draws a state index with a mildly Zipfian skew.
+func skewedState(rng *rand.Rand) int {
+	// Quadratic skew towards low indices.
+	u := rng.Float64()
+	return int(u * u * NumStates)
+}
+
+// skewedCity draws a city index with a strong skew (big cities dominate).
+func skewedCity(rng *rand.Rand) int {
+	u := rng.Float64()
+	c := int(u * u * u * NumCities)
+	if c >= NumCities {
+		c = NumCities - 1
+	}
+	return c
+}
+
+// MembershipConstraints builds the Figure 5(a) "Constraints" relation: a
+// table with schema (city, areacode) of allowed pairs, derived from the
+// ground truth. violatedFraction of the pairs are replaced with pairs
+// inconsistent with the data, so a checker scanning the base table against
+// this relation finds violations.
+func MembershipConstraints(cat *relation.Catalog, name string, data *CustomerData, n int, rng *rand.Rand) (*relation.Table, error) {
+	custName := data.Table.Name()
+	t, err := cat.CreateTable(name, []relation.Column{
+		{Name: "city", Domain: custName + ".city"},
+		{Name: "areacode", Domain: custName + ".areacode"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	row := make([]int32, 2)
+	for i := 0; i < n; i++ {
+		city := skewedCity(rng)
+		state := data.CityState[city]
+		areas := data.StateAreas[state]
+		row[0] = int32(city)
+		row[1] = int32(areas[rng.Intn(len(areas))])
+		t.InsertCodes(row)
+	}
+	return t, nil
+}

@@ -1,0 +1,191 @@
+package datagen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func TestKProdShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 1, 4, 8} {
+		cat := relation.NewCatalog()
+		tbl, err := datagen.KProd(cat, "R", datagen.ProdSpec{
+			Products: k, Attrs: 5, Tuples: 20000, DomSize: 50,
+		}, rng)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if tbl.NumCols() != 5 {
+			t.Fatalf("k=%d: %d columns", k, tbl.NumCols())
+		}
+		n := tbl.Len()
+		if n < 10000 || n > 40000 {
+			t.Errorf("k=%d: cardinality %d too far from target 20000", k, n)
+		}
+		for c := 0; c < 5; c++ {
+			if ad := tbl.ActiveDomainSize(c); ad > 50 {
+				t.Errorf("k=%d col %d: active domain %d exceeds cap", k, c, ad)
+			}
+			// The dictionary is fully interned regardless of the sample.
+			if tbl.ColumnDomain(c).Size() != 50 {
+				t.Errorf("k=%d col %d: dictionary size %d, want 50", k, c, tbl.ColumnDomain(c).Size())
+			}
+		}
+	}
+}
+
+func TestKProdStructureIsDetectable(t *testing.T) {
+	// A 1-PROD relation should have far smaller BDDs under a good ordering
+	// than a RANDOM one of the same cardinality — indirectly verified via
+	// the entropy structure here (the ordering tests verify the BDD side).
+	rng := rand.New(rand.NewSource(2))
+	cat := relation.NewCatalog()
+	prod, err := datagen.KProd(cat, "P", datagen.ProdSpec{Products: 1, Attrs: 4, Tuples: 5000, DomSize: 20}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a product, some pair of attributes is independent: joint active
+	// count equals the product of the marginals for attributes in different
+	// factors.
+	foundIndependent := false
+	for i := 0; i < 4 && !foundIndependent; i++ {
+		for j := i + 1; j < 4; j++ {
+			pairs := map[[2]int32]bool{}
+			for r := 0; r < prod.Len(); r++ {
+				row := prod.Row(r)
+				pairs[[2]int32{row[i], row[j]}] = true
+			}
+			if len(pairs) == prod.ActiveDomainSize(i)*prod.ActiveDomainSize(j) {
+				foundIndependent = true
+				break
+			}
+		}
+	}
+	if !foundIndependent {
+		t.Error("1-PROD relation has no independent attribute pair; product structure missing")
+	}
+}
+
+func TestCustomersShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cat := relation.NewCatalog()
+	data, err := datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: 30000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := data.Table
+	if tbl.Len() != 30000 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// Dictionary sizes match the paper's active domains exactly.
+	want := []int{datagen.NumAreacodes, datagen.NumNumbers, datagen.NumCities, datagen.NumStates, datagen.NumZipcodes}
+	for c, w := range want {
+		if got := tbl.ColumnDomain(c).Size(); got != w {
+			t.Errorf("column %d: dict size %d, want %d", c, got, w)
+		}
+	}
+	// Consistency of the generated data (no noise): city determines state.
+	cityState := map[int32]int32{}
+	for r := 0; r < tbl.Len(); r++ {
+		row := tbl.Row(r)
+		if prev, ok := cityState[row[2]]; ok && prev != row[3] {
+			t.Fatal("city → state violated in noise-free data")
+		}
+		cityState[row[2]] = row[3]
+	}
+	// Areacode ties to state per the ground truth.
+	for r := 0; r < tbl.Len(); r++ {
+		row := tbl.Row(r)
+		if data.AreaState[row[0]] != int(row[3]) {
+			t.Fatal("areacode/state inconsistent with ground truth")
+		}
+	}
+}
+
+func TestCustomersNoisePlantsViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat := relation.NewCatalog()
+	data, err := datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: 20000, NoiseRate: 0.05}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for r := 0; r < data.Table.Len(); r++ {
+		row := data.Table.Row(r)
+		if data.AreaState[row[0]] != int(row[3]) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("noise planted no areacode/state violations")
+	}
+	if bad > 4000 {
+		t.Fatalf("too many violations: %d", bad)
+	}
+}
+
+func TestMembershipConstraintsTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cat := relation.NewCatalog()
+	data, err := datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: 5000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := datagen.MembershipConstraints(cat, "CONSTRAINTS", data, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Len() != 1000 {
+		t.Fatalf("Len = %d", cons.Len())
+	}
+	// Shares the customer domains so joins are well typed.
+	if cons.ColumnDomain(0) != data.Table.ColumnDomain(2) {
+		t.Fatal("city domain not shared")
+	}
+	if cons.ColumnDomain(1) != data.Table.ColumnDomain(0) {
+		t.Fatal("areacode domain not shared")
+	}
+}
+
+func TestTable1WorkloadRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w, err := datagen.NewTable1Workload(datagen.Table1Spec{
+		MainTuples: 5000, RefTuples: 1000, DomSize: 30,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Constraints) != 5 {
+		t.Fatalf("%d constraints", len(w.Constraints))
+	}
+	chk := core.New(w.Catalog, core.Options{})
+	if _, err := chk.BuildIndex("REL", "REL", nil, core.OrderProbConverge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chk.BuildIndex("REF", "REF", nil, core.OrderProbConverge); err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range w.Constraints {
+		res := chk.CheckOne(ct)
+		if res.Err != nil {
+			t.Fatalf("%s: %v", ct.Name, res.Err)
+		}
+		if res.FellBack {
+			t.Fatalf("%s: unexpected fallback: %v", ct.Name, res.FallbackReason)
+		}
+		// Cross-check against SQL.
+		rows, err := chk.ViolatingRows(ct)
+		if err != nil {
+			t.Fatalf("%s: sql: %v", ct.Name, err)
+		}
+		if res.Violated != (rows.Len() > 0) {
+			t.Fatalf("%s: BDD violated=%v but SQL found %d violations", ct.Name, res.Violated, rows.Len())
+		}
+	}
+	_ = logic.Constraint{}
+}

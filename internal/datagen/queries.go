@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// queries.go builds the Table 1 workload: a synthetic database and the five
+// constraint-violation queries Q1–Q5. The paper omits their definitions
+// ("detailed description omitted due to space limitations"), describing them
+// only as "testing for different types of constraint violations"; we use one
+// query per constraint class exercised elsewhere in the paper: value
+// membership, set implication, functional dependency, inclusion/join
+// existence, and a composite with disjunction and nested quantifiers.
+
+// Table1Workload is the generated database and query set.
+type Table1Workload struct {
+	Catalog     *relation.Catalog
+	Main        *relation.Table // REL(a0..a4), a 4-PROD relation
+	Ref         *relation.Table // REF(a0, b), a reference/detail relation
+	Constraints []logic.Constraint
+}
+
+// Table1Spec configures the workload size.
+type Table1Spec struct {
+	MainTuples int // default 100,000
+	RefTuples  int // default 20,000
+	DomSize    int // default 100
+}
+
+// NewTable1Workload generates the database and the five queries.
+func NewTable1Workload(spec Table1Spec, rng *rand.Rand) (*Table1Workload, error) {
+	if spec.MainTuples == 0 {
+		spec.MainTuples = 100000
+	}
+	if spec.RefTuples == 0 {
+		spec.RefTuples = 20000
+	}
+	if spec.DomSize == 0 {
+		spec.DomSize = 100
+	}
+	cat := relation.NewCatalog()
+	main, err := KProd(cat, "REL", ProdSpec{
+		Products: 4, Attrs: 5, Tuples: spec.MainTuples, DomSize: spec.DomSize,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	// REF(a0, b): a0 shares REL's first attribute domain, so inclusion
+	// constraints between the tables are well typed.
+	ref, err := cat.CreateTable("REF", []relation.Column{
+		{Name: "a0", Domain: "REL.a0"},
+		{Name: "b", Domain: "REF.b"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bDom := cat.Domain("REF.b")
+	for v := 0; v < spec.DomSize; v++ {
+		bDom.Intern(valName(v))
+	}
+	for i := 0; i < spec.RefTuples; i++ {
+		ref.Insert(valName(rng.Intn(spec.DomSize)), valName(rng.Intn(spec.DomSize)))
+	}
+
+	set := func(n int) string {
+		if n > spec.DomSize {
+			n = spec.DomSize
+		}
+		// Sample n distinct values via a partial shuffle (no rejection
+		// loop, deterministic draw count).
+		perm := rng.Perm(spec.DomSize)[:n]
+		s := ""
+		for _, v := range perm {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%q", valName(v))
+		}
+		return "{" + s + "}"
+	}
+	queries := []struct{ name, src string }{
+		{"Q1_membership", fmt.Sprintf(
+			`forall x, y: REL(x, y, _, _, _) and x = %q => y in %s`,
+			valName(rng.Intn(spec.DomSize)), set(20))},
+		{"Q2_implication", fmt.Sprintf(
+			`forall x, w: REL(x, _, _, w, _) and x in %s => w in %s`,
+			set(10), set(30))},
+		{"Q3_fd", `forall x, y, z: REL(x, y, _, _, _) and REL(x, z, _, _, _) => y = z`},
+		{"Q4_inclusion", `forall x: REL(x, _, _, _, _) => exists b: REF(x, b)`},
+		{"Q5_composite", fmt.Sprintf(
+			`forall x, z: REL(x, _, z, _, _) => (z in %s or (exists b: REF(x, b) and b in %s))`,
+			set(25), set(40))},
+	}
+	w := &Table1Workload{Catalog: cat, Main: main, Ref: ref}
+	for _, q := range queries {
+		f, err := logic.Parse(q.src)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: parsing %s: %w", q.name, err)
+		}
+		w.Constraints = append(w.Constraints, logic.Constraint{Name: q.name, F: f})
+	}
+	return w, nil
+}

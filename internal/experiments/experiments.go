@@ -1,0 +1,339 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each function prints the same rows or series the paper
+// reports; cmd/cvbench drives them and EXPERIMENTS.md records the measured
+// results next to the paper's numbers.
+//
+// Absolute milliseconds differ from the paper (different decade, different
+// substrate); the claims under reproduction are the shapes: which approach
+// wins, by what rough factor, and how the effect moves with relation
+// structure and size.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/index"
+	"repro/internal/ordering"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Config controls workload sizes and output.
+type Config struct {
+	// Out receives the report (defaults to io.Discard if nil).
+	Out io.Writer
+	// Full selects the paper-scale workloads (400k tuples, 120 orderings);
+	// otherwise reduced sizes keep every experiment in laptop-minutes.
+	Full bool
+	// Seed is the base random seed.
+	Seed int64
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+func (c Config) rng(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed*1000 + 7 + offset))
+}
+
+// orderingTuples returns the relation size for the §5.1 ordering studies.
+func (c Config) orderingTuples() int {
+	if c.Full {
+		return 400000
+	}
+	return 20000
+}
+
+// families are the §5.1 relation families, by number of products
+// (0 encodes RANDOM).
+var families = []struct {
+	name     string
+	products int
+}{
+	{"1-PROD", 1},
+	{"4-PROD", 4},
+	{"8-PROD", 8},
+	{"RANDOM", 0},
+}
+
+// buildFamily generates one relation of a family with 5 attributes.
+func buildFamily(products, tuples int, rng *rand.Rand) (*relation.Table, error) {
+	cat := relation.NewCatalog()
+	return datagen.KProd(cat, "R", datagen.ProdSpec{
+		Products: products, Attrs: 5, Tuples: tuples, DomSize: 100,
+	}, rng)
+}
+
+// bddSizeFor builds a throwaway index under the ordering and returns its
+// node count.
+func bddSizeFor(t *relation.Table, order []int) (int, error) {
+	store := index.NewStore(index.Options{})
+	cols := make([]int, t.NumCols())
+	for i := range cols {
+		cols[i] = i
+	}
+	ix, err := store.Build("X", t, cols, order)
+	if err != nil {
+		return 0, err
+	}
+	return ix.NodeCount(), nil
+}
+
+// allOrderingSizes measures the BDD size of every attribute permutation.
+func allOrderingSizes(t *relation.Table) ([]int, [][]int, error) {
+	perms := ordering.Permutations(t.NumCols())
+	sizes := make([]int, len(perms))
+	for i, p := range perms {
+		s, err := bddSizeFor(t, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sizes[i] = s
+	}
+	return sizes, perms, nil
+}
+
+// Fig2a reproduces Figure 2(a): the BDD node count of every variable
+// ordering, best to worst, per relation family, and the best:worst ratio
+// table (paper: 71.29 / 6.29 / 2.26 / 1.02 at 400k tuples).
+func Fig2a(cfg Config) error {
+	w := cfg.out()
+	fmt.Fprintf(w, "=== Figure 2(a): effect of variable ordering (%d tuples, 5 attrs) ===\n", cfg.orderingTuples())
+	fmt.Fprintf(w, "%-8s %12s %12s %10s\n", "family", "best nodes", "worst nodes", "ratio")
+	for fi, fam := range families {
+		t, err := buildFamily(fam.products, cfg.orderingTuples(), cfg.rng(int64(fi)))
+		if err != nil {
+			return err
+		}
+		sizes, _, err := allOrderingSizes(t)
+		if err != nil {
+			return err
+		}
+		sorted := append([]int(nil), sizes...)
+		sort.Ints(sorted)
+		best, worst := sorted[0], sorted[len(sorted)-1]
+		fmt.Fprintf(w, "%-8s %12d %12d %10.2f\n", fam.name, best, worst, float64(worst)/float64(best))
+	}
+	fmt.Fprintln(w, "paper ratios: 1-PROD 71.29, 4-PROD 6.29, 8-PROD 2.26, RAND 1.02")
+	return nil
+}
+
+// orderingScore ranks a full ordering under one of the greedy measures: the
+// cumulative greedy objective along the ordering's prefixes (lower is
+// better for both measures).
+func orderingScore(t *relation.Table, order []int, domSizes []int, useInfoGain bool) float64 {
+	score := 0.0
+	for i := 1; i <= len(order); i++ {
+		prefix := order[:i]
+		if useInfoGain {
+			score += stats.CondEntropy(t, prefix[:i-1], prefix[i-1])
+		} else {
+			score += stats.Phi(t, prefix, domSizes)
+		}
+	}
+	return score
+}
+
+// Fig2bc reproduces Figures 2(b) and 2(c): the 120 orderings of a 1-PROD
+// relation ranked by each heuristic's measure, with the true BDD size at
+// each rank. A well-correlated heuristic shows sizes increasing with rank.
+func Fig2bc(cfg Config) error {
+	w := cfg.out()
+	t, err := buildFamily(1, cfg.orderingTuples(), cfg.rng(40))
+	if err != nil {
+		return err
+	}
+	sizes, perms, err := allOrderingSizes(t)
+	if err != nil {
+		return err
+	}
+	domSizes := ordering.ActiveDomainSizes(t)
+	rank := func(useInfoGain bool) []int {
+		idx := make([]int, len(perms))
+		for i := range idx {
+			idx[i] = i
+		}
+		scores := make([]float64, len(perms))
+		for i, p := range perms {
+			scores[i] = orderingScore(t, p, domSizes, useInfoGain)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+		out := make([]int, len(idx))
+		for r, i := range idx {
+			out[r] = sizes[i]
+		}
+		return out
+	}
+	trueRank := append([]int(nil), sizes...)
+	sort.Ints(trueRank)
+	migRank := rank(true)
+	pcRank := rank(false)
+
+	fmt.Fprintf(w, "=== Figures 2(b,c): heuristic ranking vs true ranking (1-PROD) ===\n")
+	fmt.Fprintf(w, "%-6s %12s %14s %14s\n", "rank", "true size", "MaxInf-Gain", "Prob-Converge")
+	step := len(sizes) / 12
+	if step == 0 {
+		step = 1
+	}
+	for r := 0; r < len(sizes); r += step {
+		fmt.Fprintf(w, "%-6d %12d %14d %14d\n", r+1, trueRank[r], migRank[r], pcRank[r])
+	}
+	fmt.Fprintf(w, "top-10 agreement with true ranking: MaxInf-Gain %d/10, Prob-Converge %d/10\n",
+		topAgreement(trueRank, migRank, 10), topAgreement(trueRank, pcRank, 10))
+	fmt.Fprintln(w, "paper: Prob-Converge's top 10 coincide with the true ranking; MaxInf-Gain only the top 2")
+	return nil
+}
+
+// topAgreement counts rank positions among the first n where the heuristic
+// rank's true size equals the true rank's size (size ties make this the
+// natural comparison).
+func topAgreement(trueRank, heurRank []int, n int) int {
+	agree := 0
+	for i := 0; i < n && i < len(trueRank); i++ {
+		if trueRank[i] == heurRank[i] {
+			agree++
+		}
+	}
+	return agree
+}
+
+// Fig3 reproduces Figure 3: per family, 20 relations; α is the size ratio
+// of the MaxInf-Gain ordering to the optimum, β the same for Prob-Converge.
+// Paper: β < 1.5 everywhere; α exceeds 2.5 on several structured runs.
+func Fig3(cfg Config) error {
+	w := cfg.out()
+	runs := 20
+	tuples := cfg.orderingTuples() / 2 // denser than /4: the Φ statistics need meaningful group counts
+	if !cfg.Full {
+		runs = 8
+	}
+	fmt.Fprintf(w, "=== Figure 3: heuristic vs optimal ordering (%d runs/family, %d tuples) ===\n", runs, tuples)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %12s %12s\n",
+		"family", "mean α", "max α", "mean β", "max β", "α>2.5 runs", "β<1.5 runs")
+	for fi, fam := range families {
+		var sumA, sumB, maxA, maxB float64
+		overA, underB := 0, 0
+		for run := 0; run < runs; run++ {
+			rng := cfg.rng(int64(100 + fi*runs + run))
+			t, err := buildFamily(fam.products, tuples, rng)
+			if err != nil {
+				return err
+			}
+			sizes, _, err := allOrderingSizes(t)
+			if err != nil {
+				return err
+			}
+			best := sizes[0]
+			for _, s := range sizes {
+				if s < best {
+					best = s
+				}
+			}
+			mig, err := bddSizeFor(t, ordering.MaxInfGain(t))
+			if err != nil {
+				return err
+			}
+			pc, err := bddSizeFor(t, ordering.ProbConverge(t, nil))
+			if err != nil {
+				return err
+			}
+			alpha := float64(mig) / float64(best)
+			beta := float64(pc) / float64(best)
+			sumA += alpha
+			sumB += beta
+			if alpha > maxA {
+				maxA = alpha
+			}
+			if beta > maxB {
+				maxB = beta
+			}
+			if alpha > 2.5 {
+				overA++
+			}
+			if beta < 1.5 {
+				underB++
+			}
+		}
+		fmt.Fprintf(w, "%-8s %10.2f %10.2f %10.2f %10.2f %8d/%-3d %8d/%-3d\n",
+			fam.name, sumA/float64(runs), maxA, sumB/float64(runs), maxB, overA, runs, underB, runs)
+	}
+	fmt.Fprintln(w, "paper: β < 1.5 on all runs; α > 2.5 on several 1-PROD and 4-PROD runs")
+	return nil
+}
+
+// customerSizes returns the relation-size sweep of Figure 4/5.
+func (c Config) customerSizes() []int {
+	if c.Full {
+		return []int{50000, 100000, 150000, 200000, 250000, 300000, 350000, 406769}
+	}
+	return []int{10000, 25000, 50000, 100000}
+}
+
+// Fig4 reproduces Figure 4: BDD construction time (a), average incremental
+// update time (b) and node count (c) for the paper's two customer indices —
+// ncs = (areacode, city, state) with 29 boolean variables and csz =
+// (city, state, zipcode) with 35 — as the relation grows.
+func Fig4(cfg Config) error {
+	w := cfg.out()
+	fmt.Fprintln(w, "=== Figure 4: index construction, maintenance and size (customer data) ===")
+	fmt.Fprintf(w, "%-9s | %12s %12s | %12s %12s | %10s %10s\n",
+		"tuples", "ncs build", "csz build", "ncs update", "csz update", "ncs nodes", "csz nodes")
+	indices := []struct {
+		name string
+		cols []int
+	}{
+		{"ncs", []int{0, 2, 3}},
+		{"csz", []int{2, 3, 4}},
+	}
+	for _, n := range cfg.customerSizes() {
+		cat := relation.NewCatalog()
+		data, err := datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: n}, cfg.rng(int64(n)))
+		if err != nil {
+			return err
+		}
+		var build [2]time.Duration
+		var update [2]time.Duration
+		var nodes [2]int
+		for i, spec := range indices {
+			store := index.NewStore(index.Options{})
+			start := time.Now()
+			ix, err := store.Build(spec.name, data.Table, spec.cols, nil)
+			if err != nil {
+				return err
+			}
+			build[i] = time.Since(start)
+			nodes[i] = ix.NodeCount()
+			// Average insert+delete cost over a sample of existing rows
+			// (delete + reinsert keeps the index unchanged at the end).
+			const updates = 2000
+			rng := cfg.rng(int64(n + i))
+			start = time.Now()
+			for u := 0; u < updates; u++ {
+				row := data.Table.Row(rng.Intn(data.Table.Len()))
+				if err := ix.Delete(row, false); err != nil {
+					return err
+				}
+				if err := ix.Insert(row); err != nil {
+					return err
+				}
+			}
+			update[i] = time.Since(start) / (2 * updates)
+		}
+		fmt.Fprintf(w, "%-9d | %12v %12v | %12v %12v | %10d %10d\n",
+			n, build[0].Round(time.Millisecond), build[1].Round(time.Millisecond),
+			update[0].Round(time.Microsecond), update[1].Round(time.Microsecond),
+			nodes[0], nodes[1])
+	}
+	fmt.Fprintln(w, "paper at 406,769 tuples: builds of a few seconds, updates of ~60-100µs,")
+	fmt.Fprintln(w, "ncs ≈ 100k nodes / csz ≈ 160k nodes (20 bytes per node)")
+	return nil
+}

@@ -1,0 +1,247 @@
+package index_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+func smallTable(t *testing.T) (*relation.Catalog, *relation.Table) {
+	t.Helper()
+	cat := relation.NewCatalog()
+	tbl, err := cat.CreateTable("T", []relation.Column{
+		{Name: "a"}, {Name: "b"}, {Name: "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert("a1", "b1", "c1")
+	tbl.Insert("a1", "b2", "c2")
+	tbl.Insert("a2", "b1", "c2")
+	return cat, tbl
+}
+
+func TestBuildAndContains(t *testing.T) {
+	_, tbl := smallTable(t)
+	store := index.NewStore(index.Options{})
+	ix, err := store.Build("T", tbl, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		if !ix.Contains(tbl.Row(i)) {
+			t.Fatalf("row %d missing from index", i)
+		}
+	}
+	// A tuple not in the table.
+	if ix.Contains([]int32{1, 1, 0}) { // (a2, b2, c1)
+		t.Fatal("index contains a non-tuple")
+	}
+	if got := store.Kernel().SatCount(ix.Root()); got != 3 {
+		t.Fatalf("index has %v tuples, want 3", got)
+	}
+}
+
+func TestBuildProjectionDedupes(t *testing.T) {
+	_, tbl := smallTable(t)
+	store := index.NewStore(index.Options{})
+	// Projection onto column a has 2 distinct values over 3 rows.
+	ix, err := store.Build("Ta", tbl, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Kernel().SatCount(ix.Root()); got != 2 {
+		t.Fatalf("projection index has %v tuples, want 2", got)
+	}
+}
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	_, tbl := smallTable(t)
+	store := index.NewStore(index.Options{})
+	if _, err := store.Build("X", tbl, nil, nil); err == nil {
+		t.Fatal("no columns accepted")
+	}
+	if _, err := store.Build("X", tbl, []int{0, 1}, []int{0}); err == nil {
+		t.Fatal("wrong order length accepted")
+	}
+	if _, err := store.Build("X", tbl, []int{0, 1}, []int{0, 0}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := store.Build("X", tbl, []int{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Build("X", tbl, []int{0}, nil); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+}
+
+func TestInsertDeleteMaintenance(t *testing.T) {
+	_, tbl := smallTable(t)
+	store := index.NewStore(index.Options{})
+	ix, err := store.Build("T", tbl, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ix.Root()
+	// Values already interned, so the codes fit the blocks.
+	row := tbl.Insert("a2", "b2", "c1")
+	if err := ix.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Contains(row) {
+		t.Fatal("inserted row missing")
+	}
+	if err := ix.Delete(row, false); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Contains(row) {
+		t.Fatal("deleted row still present")
+	}
+	// Canonicity: after insert+delete the root is the original ref.
+	if ix.Root() != before {
+		t.Fatal("insert+delete did not round-trip to the identical BDD")
+	}
+	// Bag semantics: stillPresent suppresses the delete.
+	if err := ix.Delete(tbl.Row(0), true); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Contains(tbl.Row(0)) {
+		t.Fatal("delete with stillPresent removed the tuple")
+	}
+}
+
+func TestInsertDeleteRandomizedAgainstRebuild(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, err := cat.CreateTable("R", []relation.Column{{Name: "a"}, {Name: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-intern domains so codes stay in range.
+	for i := 0; i < 16; i++ {
+		cat.Domain("a").Intern(string(rune('a' + i)))
+		cat.Domain("b").Intern(string(rune('A' + i)))
+	}
+	rng := rand.New(rand.NewSource(3))
+	store := index.NewStore(index.Options{})
+	ix, err := store.Build("R", tbl, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[[2]int32]bool{}
+	for step := 0; step < 300; step++ {
+		a, b := int32(rng.Intn(16)), int32(rng.Intn(16))
+		row := []int32{a, b}
+		if present[[2]int32{a, b}] {
+			if err := ix.Delete(row, false); err != nil {
+				t.Fatal(err)
+			}
+			delete(present, [2]int32{a, b})
+		} else {
+			if err := ix.Insert(row); err != nil {
+				t.Fatal(err)
+			}
+			present[[2]int32{a, b}] = true
+		}
+		if got := store.Kernel().SatCount(ix.Root()); got != float64(len(present)) {
+			t.Fatalf("step %d: index has %v tuples, want %d", step, got, len(present))
+		}
+	}
+}
+
+func TestBudgetOnBuild(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, err := cat.CreateTable("R", []relation.Column{{Name: "a"}, {Name: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		tbl.Insert(string(rune(rng.Intn(64))), string(rune(rng.Intn(64))))
+	}
+	store := index.NewStore(index.Options{NodeBudget: 64})
+	_, err = store.Build("R", tbl, []int{0, 1}, nil)
+	if !errors.Is(err, bdd.ErrBudget) {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	// The store remains usable: the kernel error was cleared and a small
+	// build succeeds.
+	small, err := cat.CreateTable("S", []relation.Column{{Name: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Insert("x")
+	if _, err := store.Build("S", small, []int{0}, nil); err != nil {
+		t.Fatalf("store unusable after budget abort: %v", err)
+	}
+}
+
+func TestDropReleasesNodes(t *testing.T) {
+	_, tbl := smallTable(t)
+	store := index.NewStore(index.Options{})
+	ix, err := store.Build("T", tbl, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ix.Root()
+	store.Drop("T")
+	if store.Index("T") != nil {
+		t.Fatal("index still registered")
+	}
+	store.Kernel().GC()
+	// After GC the dropped root's nodes are gone; the easiest observable is
+	// total live count returning to near-terminal levels.
+	if store.Kernel().Size() > 8 {
+		t.Fatalf("nodes not reclaimed: %d live", store.Kernel().Size())
+	}
+	_ = root
+}
+
+func TestCustomOrderChangesLayoutNotSemantics(t *testing.T) {
+	_, tbl := smallTable(t)
+	s1 := index.NewStore(index.Options{})
+	s2 := index.NewStore(index.Options{})
+	ix1, err := s1.Build("T", tbl, []int{0, 1, 2}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := s2.Build("T", tbl, []int{0, 1, 2}, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		if !ix1.Contains(tbl.Row(i)) || !ix2.Contains(tbl.Row(i)) {
+			t.Fatal("row missing under custom order")
+		}
+	}
+	if s1.Kernel().SatCount(ix1.Root()) != s2.Kernel().SatCount(ix2.Root()) {
+		t.Fatal("orders disagree on tuple count")
+	}
+	// The layout really differs: block variables of column 2 come first.
+	if ix2.Domain(2).Vars()[0] != 0 {
+		t.Fatal("custom order did not place column 2 first")
+	}
+}
+
+func TestValueOverflowReported(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, err := cat.CreateTable("R", []relation.Column{{Name: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert("v1")
+	tbl.Insert("v2")
+	store := index.NewStore(index.Options{})
+	ix, err := store.Build("R", tbl, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the dictionary past the 1-bit block capacity.
+	row := tbl.Insert("v3")
+	if err := ix.Insert(row); err == nil {
+		t.Fatal("overflowing code accepted; index now silently wrong")
+	}
+}

@@ -1,0 +1,245 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// analyze.go performs name resolution and typing: every predicate is bound
+// to a table (or an indexed projection of one), every variable is assigned
+// the value domain of the columns it occupies, and free variables are closed
+// under an outermost universal quantifier (a constraint file that writes
+// "CUST(a, c) => ..." means "for all a, c: ...").
+
+// Resolver maps a predicate name and arity to the table it denotes and the
+// column positions its arguments bind. The plain catalog resolver binds
+// table names with full schema arity; the checker additionally resolves
+// index names to their indexed projections, so constraints can be written
+// against an index over a subset of columns.
+type Resolver interface {
+	ResolvePred(name string, arity int) (*relation.Table, []int, error)
+}
+
+// CatalogResolver resolves predicate names as table names with full-schema
+// arity.
+type CatalogResolver struct {
+	Catalog *relation.Catalog
+}
+
+// ResolvePred implements Resolver.
+func (r CatalogResolver) ResolvePred(name string, arity int) (*relation.Table, []int, error) {
+	t := r.Catalog.Table(name)
+	if t == nil {
+		return nil, nil, fmt.Errorf("logic: unknown table %q", name)
+	}
+	if arity != t.NumCols() {
+		return nil, nil, fmt.Errorf("logic: %s has %d columns, predicate written with %d arguments",
+			name, t.NumCols(), arity)
+	}
+	cols := make([]int, arity)
+	for i := range cols {
+		cols[i] = i
+	}
+	return t, cols, nil
+}
+
+// PredBinding is the resolved target of one predicate occurrence.
+type PredBinding struct {
+	Table *relation.Table
+	Cols  []int // column positions bound by the arguments, in argument order
+}
+
+// Analysis is the output of Analyze.
+type Analysis struct {
+	// F is the closed, validated formula.
+	F Formula
+	// VarDomains maps every variable (by base name, before any
+	// standardize-apart renaming) to its value domain.
+	VarDomains map[string]*relation.Domain
+	// Preds maps the name of each predicate occurring in F to its binding.
+	// All occurrences of a name share one binding.
+	Preds map[string]PredBinding
+}
+
+// Domain returns the value domain of a (possibly renamed) variable.
+func (a *Analysis) Domain(varName string) *relation.Domain {
+	return a.VarDomains[BaseName(varName)]
+}
+
+// BaseName strips the "$N" suffix StandardizeApart appends, recovering the
+// analysis-time variable name.
+func BaseName(v string) string {
+	for i := 0; i < len(v); i++ {
+		if v[i] == '$' {
+			return v[:i]
+		}
+	}
+	return v
+}
+
+// Analyze validates f against the resolver, infers variable domains and
+// returns the universally closed formula. Analysis errors include unknown
+// tables, arity mismatches, variables used at columns of different value
+// domains, comparisons across domains, and variables that never occur in a
+// predicate (and therefore have no finite range).
+func Analyze(f Formula, res Resolver) (*Analysis, error) {
+	an := &Analysis{
+		VarDomains: make(map[string]*relation.Domain),
+		Preds:      make(map[string]PredBinding),
+	}
+	assign := func(v string, d *relation.Domain, where string) error {
+		if prev, ok := an.VarDomains[v]; ok {
+			if prev != d {
+				return fmt.Errorf("logic: variable %s used over domain %q and domain %q (%s)",
+					v, prev.Name(), d.Name(), where)
+			}
+			return nil
+		}
+		an.VarDomains[v] = d
+		return nil
+	}
+	var walk func(Formula) error
+	walk = func(f Formula) error {
+		switch g := f.(type) {
+		case Pred:
+			b, ok := an.Preds[g.Table]
+			if !ok {
+				table, cols, err := res.ResolvePred(g.Table, len(g.Args))
+				if err != nil {
+					return err
+				}
+				b = PredBinding{Table: table, Cols: cols}
+				an.Preds[g.Table] = b
+			}
+			if len(g.Args) != len(b.Cols) {
+				return fmt.Errorf("logic: predicate %s used with both %d and %d arguments",
+					g.Table, len(b.Cols), len(g.Args))
+			}
+			for i, arg := range g.Args {
+				if v, ok := arg.(Var); ok {
+					d := b.Table.ColumnDomain(b.Cols[i])
+					if err := assign(v.Name, d, fmt.Sprintf("argument %d of %s", i+1, g.Table)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		case Eq:
+			return checkComparison(an, g.L, g.R, "=")
+		case Neq:
+			return checkComparison(an, g.L, g.R, "!=")
+		case In:
+			if _, ok := g.T.(Var); !ok {
+				return fmt.Errorf("logic: 'in' requires a variable on the left")
+			}
+			return nil
+		case Not:
+			return walk(g.F)
+		case And:
+			if err := walk(g.L); err != nil {
+				return err
+			}
+			return walk(g.R)
+		case Or:
+			if err := walk(g.L); err != nil {
+				return err
+			}
+			return walk(g.R)
+		case Implies:
+			if err := walk(g.L); err != nil {
+				return err
+			}
+			return walk(g.R)
+		case Quant:
+			return walk(g.F)
+		case Truth:
+			return nil
+		default:
+			return fmt.Errorf("logic: unknown formula type %T", f)
+		}
+	}
+	// Two passes: predicates first so comparison checking sees all domains.
+	if err := walk(f); err != nil {
+		return nil, err
+	}
+	// Every variable must occur in some predicate: variables only used in
+	// comparisons have no finite range and make the sentence domain
+	// dependent.
+	var checkRange func(Formula) error
+	checkRange = func(f Formula) error {
+		switch g := f.(type) {
+		case Eq:
+			return rangeCheckTerms(an, g.L, g.R, "=")
+		case Neq:
+			return rangeCheckTerms(an, g.L, g.R, "!=")
+		case In:
+			return rangeCheckTerms(an, g.T, nil, "in")
+		case Not:
+			return checkRange(g.F)
+		case And:
+			if err := checkRange(g.L); err != nil {
+				return err
+			}
+			return checkRange(g.R)
+		case Or:
+			if err := checkRange(g.L); err != nil {
+				return err
+			}
+			return checkRange(g.R)
+		case Implies:
+			if err := checkRange(g.L); err != nil {
+				return err
+			}
+			return checkRange(g.R)
+		case Quant:
+			// A quantified variable that occurs in no predicate has no
+			// finite range to quantify over.
+			for _, v := range g.Vars {
+				if _, bound := an.VarDomains[v]; !bound {
+					return fmt.Errorf("logic: quantified variable %s never occurs in a predicate; its range is unbounded", v)
+				}
+			}
+			return checkRange(g.F)
+		default:
+			return nil
+		}
+	}
+	if err := checkRange(f); err != nil {
+		return nil, err
+	}
+	closed := f
+	if free := FreeVars(f); len(free) > 0 {
+		closed = Quant{All: true, Vars: free, F: f}
+	}
+	an.F = closed
+	return an, nil
+}
+
+func checkComparison(an *Analysis, l, r Term, op string) error {
+	lv, lIsVar := l.(Var)
+	rv, rIsVar := r.(Var)
+	if !lIsVar && !rIsVar {
+		return fmt.Errorf("logic: comparison %q %s %q has no variable side", l, op, r)
+	}
+	if lIsVar && rIsVar {
+		ld, lok := an.VarDomains[lv.Name]
+		rd, rok := an.VarDomains[rv.Name]
+		if lok && rok && ld != rd {
+			return fmt.Errorf("logic: comparing %s (domain %q) with %s (domain %q)",
+				lv.Name, ld.Name(), rv.Name, rd.Name())
+		}
+	}
+	return nil
+}
+
+func rangeCheckTerms(an *Analysis, l, r Term, op string) error {
+	for _, t := range []Term{l, r} {
+		if v, ok := t.(Var); ok {
+			if _, bound := an.VarDomains[v.Name]; !bound {
+				return fmt.Errorf("logic: variable %s occurs only in %q comparisons and never in a predicate; its range is unbounded", v.Name, op)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func analyzeFixture(t *testing.T) *relation.Catalog {
+	t.Helper()
+	cat := relation.NewCatalog()
+	if _, err := cat.CreateTable("R", []relation.Column{
+		{Name: "a", Domain: "D1"}, {Name: "b", Domain: "D2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateTable("S", []relation.Column{
+		{Name: "b", Domain: "D2"}, {Name: "c", Domain: "D3"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestAnalyzeInfersDomains(t *testing.T) {
+	cat := analyzeFixture(t)
+	f := mustParse(t, `forall x, y, z: R(x, y) and S(y, z) => x = x`)
+	an, err := Analyze(f, CatalogResolver{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.VarDomains["x"] != cat.Domain("D1") {
+		t.Error("x should have domain D1")
+	}
+	if an.VarDomains["y"] != cat.Domain("D2") {
+		t.Error("y should have domain D2")
+	}
+	if an.VarDomains["z"] != cat.Domain("D3") {
+		t.Error("z should have domain D3")
+	}
+}
+
+func TestAnalyzeClosesFreeVariables(t *testing.T) {
+	cat := analyzeFixture(t)
+	f := mustParse(t, `R(x, y) => x = "v"`)
+	an, err := Analyze(f, CatalogResolver{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := an.F.(Quant)
+	if !ok || !q.All {
+		t.Fatalf("free variables not universally closed: %s", an.F)
+	}
+	if len(q.Vars) != 2 {
+		t.Fatalf("closed over %v", q.Vars)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cat := analyzeFixture(t)
+	cases := []struct {
+		src, wantErr string
+	}{
+		{`T(x)`, "unknown table"},
+		{`R(x)`, "columns"},
+		{`R(x, y) and S(x, z)`, "domain"},          // x used over D1 and D2
+		{`forall x: R(x, y) => x = y`, "domain"},   // cross-domain comparison
+		{`x = y`, "never in a predicate"},          // unbounded variables
+		{`forall q: R(x, y)`, "never occurs"},      // unbounded quantifier
+		{`R(x, y) and R(x, y, z) => x = x`, "arg"}, // inconsistent arity
+		{`"a" = "b"`, "no variable side"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		_, err = Analyze(f, CatalogResolver{Catalog: cat})
+		if err == nil {
+			t.Errorf("Analyze(%q) succeeded, want error containing %q", c.src, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Analyze(%q) error %q does not mention %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestAnalyzeConstComparisonsAllowed(t *testing.T) {
+	cat := analyzeFixture(t)
+	for _, src := range []string{
+		`forall x, y: R(x, y) => x = "v"`,
+		`forall x, y: R(x, y) => x != "v"`,
+		`forall x, y: R(x, y) => x in {"a", "b"}`,
+		`forall x, y, z: R(x, y) and S(y, z) => true`,
+	} {
+		f := mustParse(t, src)
+		if _, err := Analyze(f, CatalogResolver{Catalog: cat}); err != nil {
+			t.Errorf("Analyze(%q): %v", src, err)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	if BaseName("x$12") != "x" || BaseName("x") != "x" || BaseName("_anon3$4") != "_anon3" {
+		t.Fatal("BaseName wrong")
+	}
+}

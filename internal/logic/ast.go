@@ -1,0 +1,241 @@
+// Package logic defines the first-order constraint language of the paper,
+// its parser, the §4 rewrite rules (prenex normal form, leading-quantifier
+// elimination, universal push-down, existential pull-up), and the evaluator
+// that checks constraints against BDD logical indices with SQL fallback.
+//
+// A constraint is a first-order sentence over the tables of a catalog, e.g.
+//
+//	forall s, z: STUDENT(s, "CS", z) =>
+//	    exists c: COURSE(c, "Programming") and TAKES(s, c)
+//
+// Variables range over the named value domains of the columns they occupy;
+// the analyzer infers and checks these types. A constraint is violated when
+// the sentence is false in the database.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a predicate argument or comparison operand.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Var is a first-order variable.
+type Var struct{ Name string }
+
+// Const is a quoted value constant.
+type Const struct{ Value string }
+
+func (Var) isTerm()   {}
+func (Const) isTerm() {}
+
+func (v Var) String() string   { return v.Name }
+func (c Const) String() string { return quoteValue(c.Value) }
+
+// quoteValue prints a constant in the constraint syntax: only backslash and
+// double quote are escaped, matching exactly what the lexer unescapes (%q
+// would emit \xNN escapes the lexer does not understand).
+func quoteValue(v string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' || v[i] == '"' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(v[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// Formula is a node of the constraint syntax tree.
+type Formula interface {
+	isFormula()
+	String() string
+}
+
+// Pred asserts that the argument tuple belongs to the named table
+// (restricted to the table's indexed columns when evaluated against an
+// index over a projection).
+type Pred struct {
+	Table string
+	Args  []Term
+}
+
+// Eq compares two terms for equality. At least one side must be a variable.
+type Eq struct{ L, R Term }
+
+// Neq compares two terms for inequality. At least one side must be a variable.
+type Neq struct{ L, R Term }
+
+// In asserts membership of a term in an explicit value set.
+type In struct {
+	T      Term
+	Values []string
+}
+
+// Not negates a formula.
+type Not struct{ F Formula }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+// Implies is material implication.
+type Implies struct{ L, R Formula }
+
+// Quant binds variables universally (All) or existentially.
+type Quant struct {
+	All  bool
+	Vars []string
+	F    Formula
+}
+
+// Truth is a boolean constant formula.
+type Truth struct{ Value bool }
+
+func (Pred) isFormula()    {}
+func (Eq) isFormula()      {}
+func (Neq) isFormula()     {}
+func (In) isFormula()      {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Quant) isFormula()   {}
+func (Truth) isFormula()   {}
+
+func (p Pred) String() string {
+	args := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", p.Table, strings.Join(args, ", "))
+}
+
+func (e Eq) String() string  { return fmt.Sprintf("%s = %s", e.L, e.R) }
+func (e Neq) String() string { return fmt.Sprintf("%s != %s", e.L, e.R) }
+
+func (e In) String() string {
+	vals := make([]string, len(e.Values))
+	for i, v := range e.Values {
+		vals[i] = quoteValue(v)
+	}
+	return fmt.Sprintf("%s in {%s}", e.T, strings.Join(vals, ", "))
+}
+
+func (n Not) String() string { return fmt.Sprintf("not %s", paren(n.F)) }
+
+func (a And) String() string { return fmt.Sprintf("%s and %s", paren(a.L), paren(a.R)) }
+func (o Or) String() string  { return fmt.Sprintf("%s or %s", paren(o.L), paren(o.R)) }
+
+func (i Implies) String() string { return fmt.Sprintf("%s => %s", paren(i.L), paren(i.R)) }
+
+func (q Quant) String() string {
+	kw := "exists"
+	if q.All {
+		kw = "forall"
+	}
+	return fmt.Sprintf("%s %s: %s", kw, strings.Join(q.Vars, ", "), q.F)
+}
+
+func (t Truth) String() string {
+	if t.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// paren wraps composite subformulas so String output re-parses to the same
+// tree.
+func paren(f Formula) string {
+	switch f.(type) {
+	case Pred, Eq, Neq, In, Truth, Not:
+		return f.String()
+	default:
+		return "(" + f.String() + ")"
+	}
+}
+
+// Constraint is a named first-order sentence.
+type Constraint struct {
+	Name string
+	F    Formula
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("constraint %s: %s", c.Name, c.F)
+}
+
+// FreeVars returns the free variables of f in first-occurrence order.
+func FreeVars(f Formula) []string {
+	var out []string
+	seen := map[string]bool{}
+	bound := map[string]int{}
+	var walkT func(Term)
+	walkT = func(t Term) {
+		if v, ok := t.(Var); ok {
+			if bound[v.Name] == 0 && !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		}
+	}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Pred:
+			for _, a := range g.Args {
+				walkT(a)
+			}
+		case Eq:
+			walkT(g.L)
+			walkT(g.R)
+		case Neq:
+			walkT(g.L)
+			walkT(g.R)
+		case In:
+			walkT(g.T)
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Implies:
+			walk(g.L)
+			walk(g.R)
+		case Quant:
+			for _, v := range g.Vars {
+				bound[v]++
+			}
+			walk(g.F)
+			for _, v := range g.Vars {
+				bound[v]--
+			}
+		case Truth:
+		default:
+			panic(fmt.Sprintf("logic: unknown formula type %T", f))
+		}
+	}
+	walk(f)
+	return out
+}
+
+// usesVar reports whether x occurs free in f.
+func usesVar(f Formula, x string) bool {
+	for _, v := range FreeVars(f) {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1070 @@
+package logic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bdd"
+	"repro/internal/fdd"
+	"repro/internal/index"
+)
+
+// eval.go checks rewritten constraints against BDD logical indices. Every
+// constraint variable receives a scratch finite-domain block; predicate
+// occurrences are evaluated by restricting the index BDD with the constant
+// arguments and renaming the remaining canonical blocks onto the variable
+// blocks (the §4.2 rename strategy), falling back to on-the-fly encoding of
+// the filtered table when the rename is not order-safe. Conjunction then
+// performs joins, and quantifiers evaluate through AppEx/AppAll when they
+// sit directly above a binary connective (§4.3).
+
+// ErrNoIndex reports that a predicate has no usable logical index; the
+// caller is expected to validate the constraint with SQL instead.
+var ErrNoIndex = errors.New("logic: no logical index for predicate")
+
+// EvalOptions selects the evaluation strategy. The defaults enable every
+// optimization the paper recommends; the ablation benchmarks switch them
+// off individually.
+type EvalOptions struct {
+	// Rewrite configures the §4.4 pipeline.
+	Rewrite RewriteOptions
+	// UseAppQuant evaluates ∃x(a op b) and ∀x(a op b) with the combined
+	// AppEx/AppAll operations instead of materializing (a op b) first.
+	UseAppQuant bool
+	// RenameJoin binds predicate arguments by renaming index blocks onto
+	// variable blocks. When false the evaluator uses the naive strategy of
+	// §4.2: conjoin equality BDDs between index blocks and variable blocks
+	// and quantify the index blocks out.
+	RenameJoin bool
+	// CanonicalBlocks assigns constraint variables the index's own blocks
+	// where possible (largest tables first), so the biggest BDDs need no
+	// rename at all — the paper operates directly on the index BDDs the
+	// same way.
+	CanonicalBlocks bool
+	// EarlyProject existentially projects out, at the predicate, columns
+	// bound to single-occurrence existential variables (the on-the-fly
+	// projection the paper's indices over column subsets correspond to).
+	EarlyProject bool
+}
+
+// DefaultEvalOptions enables the full optimized strategy.
+func DefaultEvalOptions() EvalOptions {
+	return EvalOptions{
+		Rewrite:         DefaultRewriteOptions(),
+		UseAppQuant:     true,
+		RenameJoin:      true,
+		EarlyProject:    true,
+		CanonicalBlocks: true,
+	}
+}
+
+// Evaluator checks constraints against the indices of a Store.
+type Evaluator struct {
+	store *index.Store
+	res   Resolver
+	opts  EvalOptions
+
+	scratch     map[scratchKey][]*fdd.Domain
+	replaceMaps map[string]bdd.ReplaceMap
+	eqCache     map[[2]*fdd.Domain]bdd.Ref
+	// predCache memoizes fully bound predicate BDDs across evaluations,
+	// invalidated by table version. Re-validating a constraint set after a
+	// batch of updates (the monitoring workload) then skips the
+	// restrict/rename work for unchanged tables.
+	predCache map[string]predCacheEntry
+}
+
+type predCacheEntry struct {
+	version uint64
+	ref     bdd.Ref
+}
+
+type scratchKey struct {
+	domain string
+	bits   int
+}
+
+// NewEvaluator creates an evaluator using the given index store and
+// predicate resolver.
+func NewEvaluator(store *index.Store, res Resolver, opts EvalOptions) *Evaluator {
+	return &Evaluator{
+		store:       store,
+		res:         res,
+		opts:        opts,
+		scratch:     make(map[scratchKey][]*fdd.Domain),
+		replaceMaps: make(map[string]bdd.ReplaceMap),
+		eqCache:     make(map[[2]*fdd.Domain]bdd.Ref),
+		predCache:   make(map[string]predCacheEntry),
+	}
+}
+
+// Options returns the evaluator's options.
+func (ev *Evaluator) Options() EvalOptions { return ev.opts }
+
+// Outcome is the result of evaluating one constraint with BDDs.
+type Outcome struct {
+	// Holds reports whether the constraint is satisfied by the database.
+	Holds bool
+	// Mode is the check that decided Holds (validity or satisfiability).
+	Mode CheckMode
+	// Root is the BDD of the rewritten body over the blocks of the
+	// stripped leading quantifier block. For a CheckValidity outcome the
+	// satisfying assignments of ¬Root are exactly the variable bindings
+	// witnessing violations.
+	Root bdd.Ref
+	// Stripped lists the variables of the dropped leading quantifier, and
+	// Blocks maps them (and all other variables) to their blocks.
+	Stripped []string
+	Blocks   map[string]*fdd.Domain
+	// Violations, set for CheckValidity outcomes, is the BDD whose
+	// satisfying assignments are exactly the in-domain bindings of the
+	// stripped variables that violate the constraint.
+	Violations bdd.Ref
+}
+
+// Eval analyzes, rewrites and evaluates a constraint. It returns ErrNoIndex
+// if a predicate lacks an index, or bdd.ErrBudget if evaluation exceeded the
+// node budget; in both cases the caller should fall back to SQL processing
+// (the kernel's error state is already cleared).
+func (ev *Evaluator) Eval(c Constraint) (*Outcome, error) {
+	an, err := Analyze(c.F, ev.res)
+	if err != nil {
+		return nil, err
+	}
+	rw := Rewrite(an.F, ev.opts.Rewrite)
+	env, err := ev.newEnv(an, rw)
+	if err != nil {
+		return nil, err
+	}
+	// Intermediates held in local variables during the evaluation are
+	// pushed onto the kernel's temp-root stack so garbage collection at
+	// operation boundaries cannot reclaim them; release them wholesale when
+	// the evaluation finishes.
+	kk := ev.store.Kernel()
+	defer kk.TempRelease(kk.TempMark())
+	root, err := ev.eval(rw.Body, env, false)
+	if err != nil {
+		ev.Recover()
+		return nil, err
+	}
+	kk.TempKeep(root)
+	out := &Outcome{
+		Mode:     rw.Mode,
+		Root:     root,
+		Stripped: rw.Stripped,
+		Blocks:   env.blocks,
+	}
+	// The stripped leading quantifiers range over the finite domains, not
+	// over all bit patterns of the blocks, so the final test is relativized
+	// with the domain guard of the stripped variables.
+	guard, err := ev.domGuard(env, rw.Stripped)
+	if err != nil {
+		ev.Recover()
+		return nil, err
+	}
+	k := ev.store.Kernel()
+	if rw.Mode == CheckValidity {
+		viol := k.Diff(guard, root)
+		if viol == bdd.Invalid {
+			err := ev.kerr()
+			ev.Recover()
+			return nil, err
+		}
+		out.Violations = viol
+		out.Holds = viol == bdd.False
+	} else {
+		wit := k.And(guard, root)
+		if wit == bdd.Invalid {
+			err := ev.kerr()
+			ev.Recover()
+			return nil, err
+		}
+		out.Holds = wit != bdd.False
+	}
+	return out, nil
+}
+
+// Recover clears a sticky kernel error and collects the garbage the aborted
+// evaluation left behind, so the store stays usable for the SQL fallback
+// path and for later constraints.
+func (ev *Evaluator) Recover() {
+	k := ev.store.Kernel()
+	if k.Err() != nil {
+		k.ClearErr()
+	}
+	k.GC()
+}
+
+// evalEnv carries the per-evaluation state.
+type evalEnv struct {
+	an *Analysis
+	// blocks assigns every variable of the rewritten body a block.
+	blocks map[string]*fdd.Domain
+	// occurrences counts free+pred occurrences of each variable in the body.
+	occurrences map[string]int
+	// projectable marks existentially bound variables whose path from
+	// binder to atom crosses only ∧/∨ connectives. Only those may be
+	// projected out at the predicate: pushing ∃y past a Not flips its
+	// meaning, and past another quantifier swaps quantifier order.
+	projectable map[string]bool
+}
+
+// newEnv walks the rewritten body, assigns a scratch block to every
+// variable, and gathers the occurrence/binder information the early
+// projection rule needs. Blocks for the variables of each predicate are
+// assigned in the canonical (index block) order of first use, which makes
+// the rename map monotone in the common case.
+func (ev *Evaluator) newEnv(an *Analysis, rw Rewritten) (*evalEnv, error) {
+	env := &evalEnv{
+		an:          an,
+		blocks:      make(map[string]*fdd.Domain),
+		occurrences: make(map[string]int),
+		projectable: make(map[string]bool),
+	}
+	markProjectable(rw.Body, nil, env.projectable)
+	collectEnvInfo(rw.Body, env)
+	if ev.opts.CanonicalBlocks {
+		ev.claimCanonicalBlocks(rw.Body, env)
+	}
+	counters := make(map[scratchKey]int)
+	assign := func(v string) error {
+		if _, done := env.blocks[v]; done {
+			return nil
+		}
+		rd := an.Domain(v)
+		if rd == nil {
+			return fmt.Errorf("logic: variable %s has no domain", v)
+		}
+		key := scratchKey{domain: rd.Name(), bits: bitsFor(rd.Size())}
+		i := counters[key]
+		counters[key]++
+		pool := ev.scratch[key]
+		if i == len(pool) {
+			name := fmt.Sprintf("$%s/%d#%d", key.domain, key.bits, i)
+			pool = append(pool, ev.store.Space().NewDomain(name, 1<<key.bits))
+			ev.scratch[key] = pool
+		}
+		env.blocks[v] = pool[i]
+		return nil
+	}
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Pred:
+			// Assign this predicate's variables in canonical block order.
+			type argPos struct {
+				name  string
+				level int
+			}
+			var args []argPos
+			ix := ev.store.Index(g.Table)
+			for i, a := range g.Args {
+				if v, ok := a.(Var); ok {
+					level := i
+					if ix != nil && i < len(ix.Domains()) {
+						level = ix.Domains()[i].Vars()[0]
+					}
+					args = append(args, argPos{name: v.Name, level: level})
+				}
+			}
+			sort.Slice(args, func(i, j int) bool { return args[i].level < args[j].level })
+			for _, a := range args {
+				record(assign(a.name))
+			}
+		case Eq:
+			walkCompare(g.L, g.R, assign, record)
+		case Neq:
+			walkCompare(g.L, g.R, assign, record)
+		case In:
+			walkCompare(g.T, nil, assign, record)
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Quant:
+			for _, v := range g.Vars {
+				record(assign(v))
+			}
+			walk(g.F)
+		case Truth:
+		case Implies:
+			walk(g.L)
+			walk(g.R)
+		}
+	}
+	// The walk assigns blocks in canonical (index layout) order per
+	// predicate, which keeps rename maps monotone; stripped variables occur
+	// in the body and are assigned there. Any leftovers (defensive) get
+	// blocks afterwards.
+	walk(rw.Body)
+	for _, v := range rw.Stripped {
+		record(assign(v))
+	}
+	return env, firstErr
+}
+
+// markProjectable records which variables reach a predicate from their
+// existential binder through ∧/∨ only. candidates is the set of variables
+// whose binder is directly above on such a path; Not and Quant nodes reset
+// it (they are barriers an ∃ cannot be pushed through).
+func markProjectable(f Formula, candidates map[string]bool, out map[string]bool) {
+	switch g := f.(type) {
+	case Pred:
+		for _, a := range g.Args {
+			if v, ok := a.(Var); ok && candidates[v.Name] {
+				out[v.Name] = true
+			}
+		}
+	case Not:
+		markProjectable(g.F, nil, out)
+	case And:
+		markProjectable(g.L, candidates, out)
+		markProjectable(g.R, candidates, out)
+	case Or:
+		markProjectable(g.L, candidates, out)
+		markProjectable(g.R, candidates, out)
+	case Implies:
+		markProjectable(g.L, nil, out)
+		markProjectable(g.R, nil, out)
+	case Quant:
+		var inner map[string]bool
+		if !g.All {
+			// ∃ commutes with ∃: outer candidates survive an existential
+			// binder, and this binder's own variables join them.
+			inner = make(map[string]bool, len(candidates)+len(g.Vars))
+			for v := range candidates {
+				inner[v] = true
+			}
+			for _, v := range g.Vars {
+				inner[v] = true
+			}
+		}
+		markProjectable(g.F, inner, out)
+	}
+}
+
+func walkCompare(l, r Term, assign func(string) error, record func(error)) {
+	for _, t := range []Term{l, r} {
+		if v, ok := t.(Var); ok {
+			record(assign(v.Name))
+		}
+	}
+}
+
+// collectEnvInfo counts variable occurrences (in predicates and
+// comparisons) and records binder kinds, before any block assignment.
+func collectEnvInfo(f Formula, env *evalEnv) {
+	countTerm := func(t Term) {
+		if v, ok := t.(Var); ok {
+			env.occurrences[v.Name]++
+		}
+	}
+	switch g := f.(type) {
+	case Pred:
+		for _, a := range g.Args {
+			countTerm(a)
+		}
+	case Eq:
+		countTerm(g.L)
+		countTerm(g.R)
+	case Neq:
+		countTerm(g.L)
+		countTerm(g.R)
+	case In:
+		countTerm(g.T)
+	case Not:
+		collectEnvInfo(g.F, env)
+	case And:
+		collectEnvInfo(g.L, env)
+		collectEnvInfo(g.R, env)
+	case Or:
+		collectEnvInfo(g.L, env)
+		collectEnvInfo(g.R, env)
+	case Implies:
+		collectEnvInfo(g.L, env)
+		collectEnvInfo(g.R, env)
+	case Quant:
+		collectEnvInfo(g.F, env)
+	}
+}
+
+// claimCanonicalBlocks assigns variables the canonical blocks of the
+// indices they scan, biggest tables first, so that the largest predicate
+// BDDs are used in place with no renaming. A canonical block is claimable
+// by the first variable to ask for it, provided the variable is not going
+// to be projected away at the predicate and the block width matches the
+// variable's current domain.
+func (ev *Evaluator) claimCanonicalBlocks(body Formula, env *evalEnv) {
+	type occ struct {
+		p      Pred
+		ix     *index.Index
+		weight int
+	}
+	var occs []occ
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case Pred:
+			if ix := ev.store.Index(g.Table); ix != nil {
+				occs = append(occs, occ{p: g, ix: ix, weight: ix.Table().Len()})
+			}
+		case Not:
+			walk(g.F)
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case Or:
+			walk(g.L)
+			walk(g.R)
+		case Implies:
+			walk(g.L)
+			walk(g.R)
+		case Quant:
+			walk(g.F)
+		}
+	}
+	walk(body)
+	sort.SliceStable(occs, func(i, j int) bool { return occs[i].weight > occs[j].weight })
+	claimed := make(map[*fdd.Domain]bool)
+	for _, o := range occs {
+		doms := o.ix.Domains()
+		if len(doms) != len(o.p.Args) {
+			continue
+		}
+		seen := make(map[string]bool, len(o.p.Args))
+		for i, arg := range o.p.Args {
+			v, ok := arg.(Var)
+			if !ok || seen[v.Name] {
+				continue
+			}
+			seen[v.Name] = true
+			if _, done := env.blocks[v.Name]; done {
+				continue
+			}
+			if ev.opts.EarlyProject && env.occurrences[v.Name] == 1 && env.projectable[v.Name] {
+				continue // will be projected at the predicate instead
+			}
+			b := doms[i]
+			if claimed[b] {
+				continue
+			}
+			rd := env.an.Domain(v.Name)
+			if rd == nil || b.Bits() != bitsFor(rd.Size()) {
+				continue
+			}
+			env.blocks[v.Name] = b
+			claimed[b] = true
+		}
+	}
+}
+
+func bitsFor(size int) int {
+	if size <= 1 {
+		return 1
+	}
+	b := 0
+	for 1<<b < size {
+		b++
+	}
+	return b
+}
+
+// kerr converts a kernel Invalid result into a Go error.
+func (ev *Evaluator) kerr() error {
+	if err := ev.store.Kernel().Err(); err != nil {
+		return err
+	}
+	return errors.New("logic: kernel returned Invalid without an error")
+}
+
+// eval computes the BDD of f. negated reports whether f occurs under a Not
+// (only atoms can, after NNF); it gates the early projection rule.
+func (ev *Evaluator) eval(f Formula, env *evalEnv, negated bool) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	switch g := f.(type) {
+	case Truth:
+		if g.Value {
+			return bdd.True, nil
+		}
+		return bdd.False, nil
+	case Pred:
+		return ev.evalPred(g, env, negated)
+	case Eq:
+		return ev.evalEq(g.L, g.R, env)
+	case Neq:
+		r, err := ev.evalEq(g.L, g.R, env)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if n := k.Not(r); n != bdd.Invalid {
+			return n, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case In:
+		v := g.T.(Var)
+		block := env.blocks[v.Name]
+		rd := env.an.Domain(v.Name)
+		var codes []int
+		for _, val := range g.Values {
+			if c, ok := rd.Code(val); ok {
+				codes = append(codes, int(c))
+			}
+		}
+		if r := block.Among(codes); r != bdd.Invalid {
+			return r, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case Not:
+		inner, err := ev.eval(g.F, env, !negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if r := k.Not(inner); r != bdd.Invalid {
+			return r, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case And:
+		l, err := ev.eval(g.L, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if l == bdd.False {
+			return bdd.False, nil
+		}
+		k.TempKeep(l)
+		r, err := ev.eval(g.R, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if res := k.And(l, r); res != bdd.Invalid {
+			return res, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case Or:
+		l, err := ev.eval(g.L, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if l == bdd.True {
+			return bdd.True, nil
+		}
+		k.TempKeep(l)
+		r, err := ev.eval(g.R, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if res := k.Or(l, r); res != bdd.Invalid {
+			return res, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case Implies:
+		// Only reachable when the rewrite pipeline is fully disabled.
+		l, err := ev.eval(g.L, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		k.TempKeep(l)
+		r, err := ev.eval(g.R, env, negated)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		if res := k.Imp(l, r); res != bdd.Invalid {
+			return res, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case Quant:
+		return ev.evalQuant(g, env, negated)
+	default:
+		return bdd.Invalid, fmt.Errorf("logic: cannot evaluate %T", f)
+	}
+}
+
+// domGuard returns the conjunction of the domain predicates of the blocks
+// of the given variables: block < |dom(v)| for each. Quantification must be
+// relativized with it — the blocks have 2^bits slots but only the first
+// |dom(v)| encode values. The bound comes from the variable's value domain,
+// not the block (scratch blocks are shared across value domains of equal
+// width and are allocated at full slot capacity).
+func (ev *Evaluator) domGuard(env *evalEnv, vars []string) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	guard := bdd.True
+	for _, v := range vars {
+		rd := env.an.Domain(v)
+		if rd == nil {
+			return bdd.Invalid, fmt.Errorf("logic: variable %s has no domain", v)
+		}
+		guard = k.And(guard, env.blocks[v].LessConst(rd.Size()))
+		if guard == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+	return guard, nil
+}
+
+func (ev *Evaluator) evalQuant(q Quant, env *evalEnv, negated bool) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	var vars []int
+	for _, v := range q.Vars {
+		vars = append(vars, env.blocks[v].Vars()...)
+	}
+	cube := k.TempKeep(k.Cube(vars...))
+	if cube == bdd.Invalid {
+		return bdd.Invalid, ev.kerr()
+	}
+	guard, err := ev.domGuard(env, q.Vars)
+	if err != nil {
+		return bdd.Invalid, err
+	}
+	k.TempKeep(guard)
+	// Relativize: ∀x φ over the finite domain is ∀x (guard ⇒ φ), and
+	// ∃x φ is ∃x (guard ∧ φ). Both guards distribute over ∧ and ∨
+	// (guard⇒(a∧b) ≡ (guard⇒a)∧(guard⇒b), guard⇒(a∨b) ≡ (guard⇒a)∨(guard⇒b),
+	// and dually for ∧ with guard conjunction on either operand), so the
+	// combined AppEx/AppAll operations still apply.
+	if ev.opts.UseAppQuant {
+		var op bdd.ApplyOp
+		var l, r Formula
+		switch body := q.F.(type) {
+		case And:
+			op, l, r = bdd.OpAnd, body.L, body.R
+		case Or:
+			op, l, r = bdd.OpOr, body.L, body.R
+		}
+		if l != nil {
+			lb, err := ev.eval(l, env, negated)
+			if err != nil {
+				return bdd.Invalid, err
+			}
+			k.TempKeep(lb)
+			rb, err := ev.eval(r, env, negated)
+			if err != nil {
+				return bdd.Invalid, err
+			}
+			k.TempKeep(rb)
+			var res bdd.Ref
+			if q.All {
+				res = k.AppAll(k.TempKeep(k.Imp(guard, lb)), k.Imp(guard, rb), op, cube)
+			} else if op == bdd.OpAnd {
+				res = k.AppEx(k.And(guard, lb), rb, op, cube)
+			} else {
+				res = k.AppEx(k.TempKeep(k.And(guard, lb)), k.And(guard, rb), op, cube)
+			}
+			if res != bdd.Invalid {
+				return res, nil
+			}
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+	body, err := ev.eval(q.F, env, negated)
+	if err != nil {
+		return bdd.Invalid, err
+	}
+	var res bdd.Ref
+	if q.All {
+		res = k.Forall(k.Imp(guard, body), cube)
+	} else {
+		res = k.Exists(k.And(guard, body), cube)
+	}
+	if res != bdd.Invalid {
+		return res, nil
+	}
+	return bdd.Invalid, ev.kerr()
+}
+
+func (ev *Evaluator) evalEq(l, r Term, env *evalEnv) (bdd.Ref, error) {
+	lv, lIsVar := l.(Var)
+	rv, rIsVar := r.(Var)
+	switch {
+	case lIsVar && rIsVar:
+		if f := fdd.EqVar(env.blocks[lv.Name], env.blocks[rv.Name]); f != bdd.Invalid {
+			return f, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	case lIsVar || rIsVar:
+		v, c := lv, r
+		if rIsVar {
+			v, c = rv, l
+		}
+		rd := env.an.Domain(v.Name)
+		code, ok := rd.Code(c.(Const).Value)
+		if !ok {
+			return bdd.False, nil
+		}
+		if f := env.blocks[v.Name].EqConst(int(code)); f != bdd.Invalid {
+			return f, nil
+		}
+		return bdd.Invalid, ev.kerr()
+	default:
+		lc, rc := l.(Const), r.(Const)
+		if lc.Value == rc.Value {
+			return bdd.True, nil
+		}
+		return bdd.False, nil
+	}
+}
+
+// evalPred binds one predicate occurrence against its logical index,
+// memoizing the bound BDD per table version.
+func (ev *Evaluator) evalPred(p Pred, env *evalEnv, negated bool) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	ix := ev.store.Index(p.Table)
+	binding := env.an.Preds[p.Table]
+	if ix == nil || !sameCols(ix.Columns(), binding.Cols) {
+		return bdd.Invalid, fmt.Errorf("%w: %s", ErrNoIndex, p.Table)
+	}
+	key := ev.predKey(p, ix, env, negated)
+	version := binding.Table.Version()
+	if e, ok := ev.predCache[key]; ok && e.version == version {
+		return e.ref, nil
+	}
+	f, err := ev.evalPredUncached(p, ix, binding, env, negated)
+	if err != nil {
+		return bdd.Invalid, err
+	}
+	k.Protect(f)
+	if old, ok := ev.predCache[key]; ok {
+		k.Unprotect(old.ref)
+	}
+	ev.predCache[key] = predCacheEntry{version: version, ref: f}
+	return f, nil
+}
+
+// predKey identifies a bound predicate occurrence: the index (by its first
+// block variable, which changes when the index is rebuilt), the constant
+// arguments, the target block of each variable argument, repeated-variable
+// structure, and whether the early-projection rule applies.
+func (ev *Evaluator) predKey(p Pred, ix *index.Index, env *evalEnv, negated bool) string {
+	var sb strings.Builder
+	sb.WriteString(p.Table)
+	fmt.Fprintf(&sb, "@%d", ix.Domains()[0].Vars()[0])
+	seen := make(map[string]int, len(p.Args))
+	for i, arg := range p.Args {
+		switch a := arg.(type) {
+		case Const:
+			fmt.Fprintf(&sb, "|c%q", a.Value)
+		case Var:
+			if j, dup := seen[a.Name]; dup {
+				fmt.Fprintf(&sb, "|=%d", j)
+				continue
+			}
+			seen[a.Name] = i
+			if ev.opts.EarlyProject && !negated &&
+				env.occurrences[a.Name] == 1 && env.projectable[a.Name] {
+				sb.WriteString("|p")
+			} else {
+				fmt.Fprintf(&sb, "|v%d", env.blocks[a.Name].Vars()[0])
+			}
+		}
+	}
+	return sb.String()
+}
+
+func (ev *Evaluator) evalPredUncached(p Pred, ix *index.Index, binding PredBinding, env *evalEnv, negated bool) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	doms := ix.Domains()
+
+	// 1. Restrict constant arguments.
+	var lits []bdd.Literal
+	firstPos := make(map[string]int)
+	var dupPairs [][2]int // (first, duplicate) argument positions
+	for i, arg := range p.Args {
+		switch a := arg.(type) {
+		case Const:
+			code, ok := binding.Table.ColumnDomain(binding.Cols[i]).Code(a.Value)
+			if !ok {
+				return bdd.False, nil // value never seen: no tuple matches
+			}
+			lits = append(lits, doms[i].Lits(int(code))...)
+		case Var:
+			if j, seen := firstPos[a.Name]; seen {
+				dupPairs = append(dupPairs, [2]int{j, i})
+			} else {
+				firstPos[a.Name] = i
+			}
+		}
+	}
+	f := ix.Root()
+	if len(lits) > 0 {
+		f = k.Restrict(f, lits)
+		if f == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+
+	// 2. Repeated variables: equate the duplicate canonical blocks with the
+	// first occurrence, then project the duplicates away.
+	for _, d := range dupPairs {
+		k.TempKeep(f)
+		eq := fdd.EqVar(doms[d[0]], doms[d[1]])
+		if eq == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+		f = k.AppEx(f, eq, bdd.OpAnd, doms[d[1]].Cube())
+		if f == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+
+	// 3. Early projection of single-occurrence existential variables.
+	names := make([]string, 0, len(firstPos))
+	for name := range firstPos {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return firstPos[names[i]] < firstPos[names[j]] })
+	var from, to []*fdd.Domain
+	var projected []*fdd.Domain
+	for _, name := range names {
+		i := firstPos[name]
+		// A single-occurrence variable whose existential binder reaches this
+		// atom through ∧/∨ only can be projected out here instead of being
+		// renamed and quantified later. negated is always false for such
+		// atoms (Not is a barrier), but the check keeps the invariant local.
+		if ev.opts.EarlyProject && !negated &&
+			env.occurrences[name] == 1 && env.projectable[name] {
+			projected = append(projected, doms[i])
+			continue
+		}
+		from = append(from, doms[i])
+		to = append(to, env.blocks[name])
+	}
+	if len(projected) > 0 {
+		f = fdd.Exists(f, projected...)
+		if f == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+	// Variables assigned this predicate's own canonical blocks need no
+	// binding at all; drop the identity pairs.
+	w := 0
+	for i := range from {
+		if from[i] != to[i] {
+			from[w], to[w] = from[i], to[i]
+			w++
+		}
+	}
+	from, to = from[:w], to[:w]
+	if len(from) == 0 {
+		return f, nil
+	}
+
+	// 4. Bind the remaining canonical blocks to the variable blocks.
+	if ev.opts.RenameJoin {
+		g, err := ev.renameBlocks(p, f, from, to)
+		if err == nil {
+			return g, nil
+		}
+		if !errors.Is(err, bdd.ErrOrder) {
+			return bdd.Invalid, err
+		}
+		// The combined rename is not order-safe for this block arrangement.
+		// The blocks are disjoint, so simultaneous substitution equals
+		// sequential per-block substitution: rename each block on its own
+		// (individual maps are often order-safe where the combined one is
+		// not), bridging a block with an equality BDD only when even its
+		// single rename fails. Bridging per block keeps the equality states
+		// of different blocks from multiplying. A very wide failing block
+		// would make even its own equality BDD exponential; that degrades
+		// to re-encoding the filtered relation.
+		for i := range from {
+			k.TempKeep(f)
+			g, err := ev.renameBlocks(p, f, from[i:i+1], to[i:i+1])
+			if err == nil {
+				f = g
+				continue
+			}
+			if !errors.Is(err, bdd.ErrOrder) {
+				return bdd.Invalid, err
+			}
+			if from[i].Bits() > maxBridgeBits {
+				return ev.rebuildPred(p, env, binding)
+			}
+			f = k.AppEx(f, ev.eqVarCached(from[i], to[i]), bdd.OpAnd, from[i].Cube())
+			if f == bdd.Invalid {
+				return bdd.Invalid, ev.kerr()
+			}
+		}
+		return f, nil
+	}
+	// Naive strategy (§4.2 option 1, benchmarked as the ablation): conjoin
+	// every equality BDD, then quantify the canonical blocks out in one
+	// combined pass.
+	k.TempKeep(f)
+	bridge := bdd.True
+	for i := range from {
+		k.TempKeep(bridge)
+		bridge = k.And(bridge, ev.eqVarCached(from[i], to[i]))
+		if bridge == bdd.Invalid {
+			return bdd.Invalid, ev.kerr()
+		}
+	}
+	k.TempKeep(bridge)
+	f = k.AppEx(f, bridge, bdd.OpAnd, fdd.CubeOf(from...))
+	if f == bdd.Invalid {
+		return bdd.Invalid, ev.kerr()
+	}
+	return f, nil
+}
+
+// maxBridgeBits bounds the block width the equality-bridge fallback will
+// accept: an equality BDD over two non-interleaved b-bit blocks has Θ(2^b)
+// nodes, so past this width re-encoding the relation is cheaper.
+const maxBridgeBits = 16
+
+// eqVarCached returns EqVar(a, b), caching (and pinning) the result: bridge
+// equalities over wide blocks are too expensive to rebuild on every
+// constraint check.
+func (ev *Evaluator) eqVarCached(a, b *fdd.Domain) bdd.Ref {
+	key := [2]*fdd.Domain{a, b}
+	if r, ok := ev.eqCache[key]; ok {
+		return r
+	}
+	r := fdd.EqVar(a, b)
+	if r == bdd.Invalid {
+		return r
+	}
+	ev.store.Kernel().Protect(r)
+	ev.eqCache[key] = r
+	return r
+}
+
+// renameBlocks applies the §4.2 rename strategy with an interned map.
+func (ev *Evaluator) renameBlocks(p Pred, f bdd.Ref, from, to []*fdd.Domain) (bdd.Ref, error) {
+	k := ev.store.Kernel()
+	key := replaceKey(p.Table, from, to)
+	m, ok := ev.replaceMaps[key]
+	if !ok {
+		var err error
+		m, err = fdd.ReplaceMap(from, to)
+		if err != nil {
+			return bdd.Invalid, err
+		}
+		ev.replaceMaps[key] = m
+	}
+	g := k.Replace(f, m)
+	if g == bdd.Invalid {
+		err := k.Err()
+		if errors.Is(err, bdd.ErrOrder) {
+			k.ClearErr()
+			return bdd.Invalid, bdd.ErrOrder
+		}
+		return bdd.Invalid, ev.kerr()
+	}
+	return g, nil
+}
+
+// rebuildPred encodes the predicate's filtered, projected extension directly
+// over the target variable blocks — the paper's "encode the relation into a
+// BDD on the fly" fallback.
+func (ev *Evaluator) rebuildPred(p Pred, env *evalEnv, binding PredBinding) (bdd.Ref, error) {
+	t := binding.Table
+	// Plan: for each argument position, a constant filter, a duplicate
+	// check, a projection target, or a drop (early projection).
+	type colPlan struct {
+		col     int
+		code    int32
+		isConst bool
+		dupOf   int // argument position of first occurrence, or -1
+		keep    bool
+		block   *fdd.Domain
+	}
+	plans := make([]colPlan, len(p.Args))
+	firstPos := make(map[string]int)
+	for i, arg := range p.Args {
+		pl := colPlan{col: binding.Cols[i], dupOf: -1}
+		switch a := arg.(type) {
+		case Const:
+			code, ok := t.ColumnDomain(binding.Cols[i]).Code(a.Value)
+			if !ok {
+				return bdd.False, nil
+			}
+			pl.isConst = true
+			pl.code = code
+		case Var:
+			if j, seen := firstPos[a.Name]; seen {
+				pl.dupOf = j
+			} else {
+				firstPos[a.Name] = i
+				if block, ok := env.blocks[a.Name]; ok {
+					pl.keep = true
+					pl.block = block
+				}
+			}
+		}
+		plans[i] = pl
+	}
+	var doms []*fdd.Domain
+	for _, pl := range plans {
+		if pl.keep {
+			doms = append(doms, pl.block)
+		}
+	}
+	var rows [][]int
+	for r := 0; r < t.Len(); r++ {
+		row := t.Row(r)
+		match := true
+		for _, pl := range plans {
+			if pl.isConst && row[pl.col] != pl.code {
+				match = false
+				break
+			}
+			if pl.dupOf >= 0 && row[pl.col] != row[plans[pl.dupOf].col] {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		proj := make([]int, 0, len(doms))
+		for _, pl := range plans {
+			if pl.keep {
+				proj = append(proj, int(row[pl.col]))
+			}
+		}
+		rows = append(rows, proj)
+	}
+	if len(doms) == 0 {
+		if len(rows) > 0 {
+			return bdd.True, nil
+		}
+		return bdd.False, nil
+	}
+	f, err := fdd.Relation(doms, rows)
+	if err != nil {
+		return bdd.Invalid, err
+	}
+	return f, nil
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func replaceKey(table string, from, to []*fdd.Domain) string {
+	var sb strings.Builder
+	sb.WriteString(table)
+	for i := range from {
+		fmt.Fprintf(&sb, "|%d>%d", from[i].Vars()[0], to[i].Vars()[0])
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package logic
+
+// fd.go recognizes functional-dependency constraints, the class the paper
+// singles out in Figure 5(b). An FD over a predicate P has the shape
+//
+//	forall x⃗, y, y': P(..., x⃗, ..., y, ...) and P(..., x⃗, ..., y', ...) => y = y'
+//
+// where the two predicate occurrences agree on the determinant variables x⃗
+// position-wise, differ exactly in the dependent position, and every other
+// position holds a single-occurrence (wildcard) variable. The evaluator
+// checks recognized FDs by projection and model counting on the index BDD
+// instead of evaluating the self-join — the "projection of suitable
+// attributes ... and manipulation of the resulting BDDs" the paper
+// describes.
+
+// FD describes a recognized functional-dependency constraint.
+type FD struct {
+	// Pred is the predicate (table or index) name.
+	Pred string
+	// Arity is the number of predicate arguments.
+	Arity int
+	// Determinant and Dependent are argument positions: the FD is
+	// Determinant → Dependent within the predicate's columns.
+	Determinant []int
+	Dependent   int
+}
+
+// DetectFD reports whether f (a raw, unrewritten constraint formula) is a
+// functional-dependency constraint, and over which positions.
+func DetectFD(f Formula) (FD, bool) {
+	// Strip universal closures.
+	body := f
+	for {
+		q, ok := body.(Quant)
+		if !ok || !q.All {
+			break
+		}
+		body = q.F
+	}
+	imp, ok := body.(Implies)
+	if !ok {
+		return FD{}, false
+	}
+	and, ok := imp.L.(And)
+	if !ok {
+		return FD{}, false
+	}
+	p1, ok1 := stripAnonExists(and.L)
+	p2, ok2 := stripAnonExists(and.R)
+	if !ok1 || !ok2 || p1.Table != p2.Table || len(p1.Args) != len(p2.Args) {
+		return FD{}, false
+	}
+	eq, ok := imp.R.(Eq)
+	if !ok {
+		return FD{}, false
+	}
+	lv, ok1 := eq.L.(Var)
+	rv, ok2 := eq.R.(Var)
+	if !ok1 || !ok2 {
+		return FD{}, false
+	}
+	counts := map[string]int{}
+	countVars(f, counts)
+	fd := FD{Pred: p1.Table, Arity: len(p1.Args), Dependent: -1}
+	for i := range p1.Args {
+		a1, ok1 := p1.Args[i].(Var)
+		a2, ok2 := p2.Args[i].(Var)
+		if !ok1 || !ok2 {
+			return FD{}, false // constants would make this a conditional FD
+		}
+		switch {
+		case a1.Name == a2.Name:
+			// Shared determinant position — unless it is a pair of equal
+			// single-use variables, which cannot happen since it appears in
+			// both predicates (count ≥ 2).
+			fd.Determinant = append(fd.Determinant, i)
+		case a1.Name == lv.Name && a2.Name == rv.Name,
+			a1.Name == rv.Name && a2.Name == lv.Name:
+			if fd.Dependent != -1 {
+				return FD{}, false // more than one dependent position
+			}
+			fd.Dependent = i
+		case counts[a1.Name] == 1 && counts[a2.Name] == 1:
+			// Both wildcards: position projected away.
+		default:
+			return FD{}, false
+		}
+	}
+	if fd.Dependent == -1 || len(fd.Determinant) == 0 {
+		return FD{}, false
+	}
+	return fd, true
+}
+
+// stripAnonExists unwraps the existential the parser adds around predicates
+// with wildcard arguments.
+func stripAnonExists(f Formula) (Pred, bool) {
+	if q, ok := f.(Quant); ok && !q.All {
+		f = q.F
+	}
+	p, ok := f.(Pred)
+	return p, ok
+}
+
+func countVars(f Formula, counts map[string]int) {
+	countTerm := func(t Term) {
+		if v, ok := t.(Var); ok {
+			counts[v.Name]++
+		}
+	}
+	switch g := f.(type) {
+	case Pred:
+		for _, a := range g.Args {
+			countTerm(a)
+		}
+	case Eq:
+		countTerm(g.L)
+		countTerm(g.R)
+	case Neq:
+		countTerm(g.L)
+		countTerm(g.R)
+	case In:
+		countTerm(g.T)
+	case Not:
+		countVars(g.F, counts)
+	case And:
+		countVars(g.L, counts)
+		countVars(g.R, counts)
+	case Or:
+		countVars(g.L, counts)
+		countVars(g.R, counts)
+	case Implies:
+		countVars(g.L, counts)
+		countVars(g.R, counts)
+	case Quant:
+		countVars(g.F, counts)
+	}
+}

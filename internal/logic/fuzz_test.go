@@ -1,0 +1,43 @@
+package logic
+
+import "testing"
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// print to a form it accepts again (printing is a fixed point).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`forall x: P(x, "a") => exists y: Q(y) and R(x, y)`,
+		`x in {"a", "b"}`,
+		`not (P(x) or Q(x)) and true`,
+		`P(_, _, x)`,
+		`constraint c: forall x: P(x).`,
+		`x != "v" => false`,
+		"(((((", "forall", `"unterminated`, "a=b=c", "# comment only",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := formula.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q does not re-parse: %v", printed, err)
+		}
+		if again.String() != printed {
+			t.Fatalf("print not a fixed point: %q -> %q", printed, again.String())
+		}
+	})
+}
+
+// FuzzParseConstraints: the constraints-file parser must never panic.
+func FuzzParseConstraints(f *testing.F) {
+	f.Add("constraint a: P(x).\nconstraint b: Q(y)")
+	f.Add("constraint")
+	f.Add("# nothing")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseConstraints(src)
+	})
+}

@@ -1,0 +1,154 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Formula {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`P(x, "a")`,
+		`forall x: P(x, "a") => exists y: Q(y) and R(x, y)`,
+		`x = "v"`,
+		`x != y`,
+		`x in {"a", "b", "c"}`,
+		`not (P(x) or Q(x))`,
+		`forall x, y: (P(x) and Q(y)) or not R(x, y)`,
+		`exists x: P(x) => false`,
+		`true and false`,
+	}
+	for _, src := range cases {
+		f := mustParse(t, src)
+		again, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (printed %q): %v", src, f.String(), err)
+		}
+		if again.String() != f.String() {
+			t.Errorf("round trip unstable: %q -> %q -> %q", src, f.String(), again.String())
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// "and" binds tighter than "or", which binds tighter than "=>".
+	f := mustParse(t, `P(x) or Q(x) and R(x) => S(x)`)
+	imp, ok := f.(Implies)
+	if !ok {
+		t.Fatalf("expected Implies at top, got %T", f)
+	}
+	or, ok := imp.L.(Or)
+	if !ok {
+		t.Fatalf("expected Or on left of =>, got %T", imp.L)
+	}
+	if _, ok := or.R.(And); !ok {
+		t.Fatalf("expected And inside Or, got %T", or.R)
+	}
+}
+
+func TestParseQuantifierScopesRight(t *testing.T) {
+	// A quantifier scopes over everything to its right, including "=>".
+	f := mustParse(t, `forall x: P(x) => Q(x)`)
+	q, ok := f.(Quant)
+	if !ok || !q.All {
+		t.Fatalf("expected top-level forall, got %T", f)
+	}
+	if _, ok := q.F.(Implies); !ok {
+		t.Fatalf("expected implication under forall, got %T", q.F)
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	f := mustParse(t, `P(x, _, _)`)
+	q, ok := f.(Quant)
+	if !ok || q.All || len(q.Vars) != 2 {
+		t.Fatalf("wildcards should desugar to a 2-variable exists, got %v", f)
+	}
+	p, ok := q.F.(Pred)
+	if !ok || len(p.Args) != 3 {
+		t.Fatalf("expected 3-ary predicate, got %v", q.F)
+	}
+	// The two anonymous variables are distinct.
+	a1 := p.Args[1].(Var).Name
+	a2 := p.Args[2].(Var).Name
+	if a1 == a2 {
+		t.Fatal("anonymous variables must be distinct")
+	}
+	if !strings.HasPrefix(a1, "_anon") {
+		t.Fatalf("anonymous variable name %q lacks the reserved prefix", a1)
+	}
+}
+
+func TestParseConstraintsFile(t *testing.T) {
+	src := `
+	# two constraints
+	constraint a: forall x: P(x) => Q(x).
+	constraint b: exists y: R(y, "v")
+	`
+	cs, err := ParseConstraints(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Name != "a" || cs[1].Name != "b" {
+		t.Fatalf("got %v", cs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`P(`,
+		`forall : P(x)`,
+		`P(x) and`,
+		`x in {}`,
+		`x in {"a"`,
+		`"a" = "b" extra`,
+		`P(x) garbage`,
+		`not`,
+		`x ~ y`,
+		`"unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	f := mustParse(t, `x = "a\"b"`)
+	eq := f.(Eq)
+	if eq.R.(Const).Value != `a"b` {
+		t.Fatalf("escape mishandled: %q", eq.R.(Const).Value)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := mustParse(t, `forall x: P(x, y) and (exists z: Q(z, w))`)
+	got := FreeVars(f)
+	want := []string{"y", "w"}
+	if len(got) != len(want) {
+		t.Fatalf("FreeVars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FreeVars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	f := mustParse(t, `P(x) and (forall x: Q(x))`)
+	got := FreeVars(f)
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("FreeVars = %v, want [x]", got)
+	}
+}

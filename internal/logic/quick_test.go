@@ -1,0 +1,96 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quick_test.go: rewrite-pipeline invariants via testing/quick, on top of
+// the brute-force model of rewrite_test.go.
+
+type qFormula struct {
+	f   Formula
+	env *bruteEnv
+}
+
+func formulaConfig(seed int64) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	vars := []string{"x", "y", "z"}
+	return &quick.Config{
+		MaxCount: 150,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(qFormula{
+					f:   closeFormula(randFormula(rng, vars, 3)),
+					env: randEnv(rng, 3),
+				})
+			}
+		},
+	}
+}
+
+// TestQuickRewriteSoundness: the full pipeline and each partial pipeline
+// preserve sentence truth on random models.
+func TestQuickRewriteSoundness(t *testing.T) {
+	property := func(q qFormula) bool {
+		want := q.env.sentenceTruth(q.f)
+		for _, opts := range []RewriteOptions{
+			{Prenex: true, PushForall: true},
+			{Prenex: true},
+			{PushForall: true},
+			{},
+		} {
+			if q.env.rewrittenTruth(Rewrite(q.f, opts)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, formulaConfig(51)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNNFInvolution: NNF is idempotent and preserves truth.
+func TestQuickNNFInvolution(t *testing.T) {
+	property := func(q qFormula) bool {
+		g := NNF(ElimImplies(q.f))
+		if NNF(g).String() != g.String() {
+			return false
+		}
+		return q.env.sentenceTruth(g) == q.env.sentenceTruth(q.f)
+	}
+	if err := quick.Check(property, formulaConfig(53)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStandardizeApartPreservesTruth: renaming bound variables never
+// changes the sentence.
+func TestQuickStandardizeApartPreservesTruth(t *testing.T) {
+	property := func(q qFormula) bool {
+		g := StandardizeApart(q.f)
+		return q.env.sentenceTruth(g) == q.env.sentenceTruth(q.f)
+	}
+	if err := quick.Check(property, formulaConfig(59)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParsePrintRoundTrip: printing and re-parsing is the identity on
+// the tree (up to the printed form).
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	property := func(q qFormula) bool {
+		printed := q.f.String()
+		back, err := Parse(printed)
+		if err != nil {
+			return false
+		}
+		return back.String() == printed
+	}
+	if err := quick.Check(property, formulaConfig(61)); err != nil {
+		t.Fatal(err)
+	}
+}

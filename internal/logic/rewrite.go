@@ -1,0 +1,320 @@
+package logic
+
+import "fmt"
+
+// rewrite.go implements the §4 rewrite pipeline:
+//
+//  1. implications are eliminated and negations pushed to the atoms (NNF),
+//  2. bound variables are standardized apart,
+//  3. quantifiers are pulled into a prenex prefix (the ∃-pull-up of §4.3 is
+//     subsumed: every quantifier is pulled up),
+//  4. the leading block of same-kind quantifiers is dropped and replaced by
+//     a validity (∀) or satisfiability (∃) check (§4.1),
+//  5. remaining universal quantifiers are pushed down across conjunctions
+//     (§4.3, Rule 5), with mini-scoping of quantifiers over subformulas
+//     that do not mention the bound variable.
+//
+// The pipeline transforms sentences only (no free variables); Analyze closes
+// formulas before rewriting.
+
+// CheckMode says how the BDD of the rewritten formula decides the original
+// sentence.
+type CheckMode int
+
+const (
+	// CheckValidity: the sentence holds iff the BDD equals True.
+	CheckValidity CheckMode = iota
+	// CheckSatisfiability: the sentence holds iff the BDD differs from False.
+	CheckSatisfiability
+)
+
+func (m CheckMode) String() string {
+	if m == CheckValidity {
+		return "validity"
+	}
+	return "satisfiability"
+}
+
+// ElimImplies replaces every a => b with (not a) or b.
+func ElimImplies(f Formula) Formula {
+	switch g := f.(type) {
+	case Implies:
+		return Or{L: Not{F: ElimImplies(g.L)}, R: ElimImplies(g.R)}
+	case Not:
+		return Not{F: ElimImplies(g.F)}
+	case And:
+		return And{L: ElimImplies(g.L), R: ElimImplies(g.R)}
+	case Or:
+		return Or{L: ElimImplies(g.L), R: ElimImplies(g.R)}
+	case Quant:
+		return Quant{All: g.All, Vars: g.Vars, F: ElimImplies(g.F)}
+	default:
+		return f
+	}
+}
+
+// NNF pushes negations down to the atoms. The input must be implication
+// free.
+func NNF(f Formula) Formula {
+	switch g := f.(type) {
+	case Not:
+		switch h := g.F.(type) {
+		case Not:
+			return NNF(h.F)
+		case And:
+			return Or{L: NNF(Not{F: h.L}), R: NNF(Not{F: h.R})}
+		case Or:
+			return And{L: NNF(Not{F: h.L}), R: NNF(Not{F: h.R})}
+		case Quant:
+			return Quant{All: !h.All, Vars: h.Vars, F: NNF(Not{F: h.F})}
+		case Truth:
+			return Truth{Value: !h.Value}
+		case Implies:
+			panic("logic: NNF on formula with implications")
+		default:
+			return g // negated atom
+		}
+	case And:
+		return And{L: NNF(g.L), R: NNF(g.R)}
+	case Or:
+		return Or{L: NNF(g.L), R: NNF(g.R)}
+	case Quant:
+		return Quant{All: g.All, Vars: g.Vars, F: NNF(g.F)}
+	case Implies:
+		panic("logic: NNF on formula with implications")
+	default:
+		return f
+	}
+}
+
+// StandardizeApart renames every bound variable to a globally fresh name so
+// that no two quantifiers bind the same name and no bound name collides with
+// a free name. Prenexing requires it.
+func StandardizeApart(f Formula) Formula {
+	counter := 0
+	var rename func(f Formula, env map[string]string) Formula
+	renameTerm := func(t Term, env map[string]string) Term {
+		if v, ok := t.(Var); ok {
+			if n, ok := env[v.Name]; ok {
+				return Var{Name: n}
+			}
+		}
+		return t
+	}
+	rename = func(f Formula, env map[string]string) Formula {
+		switch g := f.(type) {
+		case Pred:
+			args := make([]Term, len(g.Args))
+			for i, a := range g.Args {
+				args[i] = renameTerm(a, env)
+			}
+			return Pred{Table: g.Table, Args: args}
+		case Eq:
+			return Eq{L: renameTerm(g.L, env), R: renameTerm(g.R, env)}
+		case Neq:
+			return Neq{L: renameTerm(g.L, env), R: renameTerm(g.R, env)}
+		case In:
+			return In{T: renameTerm(g.T, env), Values: g.Values}
+		case Not:
+			return Not{F: rename(g.F, env)}
+		case And:
+			return And{L: rename(g.L, env), R: rename(g.R, env)}
+		case Or:
+			return Or{L: rename(g.L, env), R: rename(g.R, env)}
+		case Implies:
+			return Implies{L: rename(g.L, env), R: rename(g.R, env)}
+		case Quant:
+			inner := make(map[string]string, len(env)+len(g.Vars))
+			for k, v := range env {
+				inner[k] = v
+			}
+			vars := make([]string, len(g.Vars))
+			for i, v := range g.Vars {
+				counter++
+				fresh := fmt.Sprintf("%s$%d", v, counter)
+				inner[v] = fresh
+				vars[i] = fresh
+			}
+			return Quant{All: g.All, Vars: vars, F: rename(g.F, inner)}
+		case Truth:
+			return g
+		default:
+			panic(fmt.Sprintf("logic: unknown formula type %T", f))
+		}
+	}
+	return rename(f, map[string]string{})
+}
+
+// quantStep is one variable of a prenex prefix.
+type quantStep struct {
+	all bool
+	v   string
+}
+
+// Prenex converts an implication-free NNF formula with standardized-apart
+// bound variables into prenex normal form: it returns the quantifier prefix
+// (outermost first) and the quantifier-free matrix.
+func Prenex(f Formula) ([]quantStep, Formula) {
+	switch g := f.(type) {
+	case Quant:
+		inner, matrix := Prenex(g.F)
+		prefix := make([]quantStep, 0, len(g.Vars)+len(inner))
+		for _, v := range g.Vars {
+			prefix = append(prefix, quantStep{all: g.All, v: v})
+		}
+		return append(prefix, inner...), matrix
+	case And:
+		lp, lm := Prenex(g.L)
+		rp, rm := Prenex(g.R)
+		return append(lp, rp...), And{L: lm, R: rm}
+	case Or:
+		lp, lm := Prenex(g.L)
+		rp, rm := Prenex(g.R)
+		return append(lp, rp...), Or{L: lm, R: rm}
+	case Not:
+		// NNF: negation only wraps atoms, which contain no quantifiers.
+		return nil, f
+	default:
+		return nil, f
+	}
+}
+
+// BuildPrefix re-attaches a quantifier prefix to a matrix, merging adjacent
+// same-kind quantifiers into one Quant node.
+func BuildPrefix(prefix []quantStep, matrix Formula) Formula {
+	f := matrix
+	for i := len(prefix) - 1; i >= 0; i-- {
+		vars := []string{prefix[i].v}
+		for i > 0 && prefix[i-1].all == prefix[i].all {
+			i--
+			vars = append([]string{prefix[i].v}, vars...)
+		}
+		f = Quant{All: prefix[i].all, Vars: vars, F: f}
+	}
+	return f
+}
+
+// StripLeading drops the leading maximal same-kind quantifier block of a
+// prenex prefix (§4.1) and returns the check mode for what remains: a
+// leading ∀-block means the remainder must be valid, a leading ∃-block that
+// it must be satisfiable. A quantifier-free sentence defaults to validity
+// (both tests coincide on constants).
+func StripLeading(prefix []quantStep) (CheckMode, []string, []quantStep) {
+	if len(prefix) == 0 {
+		return CheckValidity, nil, nil
+	}
+	kind := prefix[0].all
+	i := 0
+	var stripped []string
+	for i < len(prefix) && prefix[i].all == kind {
+		stripped = append(stripped, prefix[i].v)
+		i++
+	}
+	mode := CheckSatisfiability
+	if kind {
+		mode = CheckValidity
+	}
+	return mode, stripped, prefix[i:]
+}
+
+// PushForall distributes universal quantifiers over conjunctions (Rule 5)
+// and mini-scopes quantifiers past subformulas that do not mention the bound
+// variable. Existential quantifiers stay put (§4.3 keeps them pulled up so
+// AppEx applies).
+func PushForall(f Formula) Formula {
+	switch g := f.(type) {
+	case Quant:
+		body := PushForall(g.F)
+		if !g.All {
+			return Quant{All: false, Vars: g.Vars, F: body}
+		}
+		out := body
+		// Push one variable at a time, innermost first.
+		for i := len(g.Vars) - 1; i >= 0; i-- {
+			out = pushForallVar(g.Vars[i], out)
+		}
+		return out
+	case And:
+		return And{L: PushForall(g.L), R: PushForall(g.R)}
+	case Or:
+		return Or{L: PushForall(g.L), R: PushForall(g.R)}
+	case Not:
+		return Not{F: PushForall(g.F)}
+	default:
+		return f
+	}
+}
+
+// pushForallVar pushes ∀x down into f as far as conjunctions allow.
+func pushForallVar(x string, f Formula) Formula {
+	if !usesVar(f, x) {
+		return f
+	}
+	switch g := f.(type) {
+	case And:
+		return And{L: pushForallVar(x, g.L), R: pushForallVar(x, g.R)}
+	case Or:
+		// ∀ does not distribute over ∨ in general, but if only one side
+		// mentions x it may be scoped there.
+		lUses, rUses := usesVar(g.L, x), usesVar(g.R, x)
+		switch {
+		case lUses && !rUses:
+			return Or{L: pushForallVar(x, g.L), R: g.R}
+		case !lUses && rUses:
+			return Or{L: g.L, R: pushForallVar(x, g.R)}
+		}
+	case Quant:
+		if g.All {
+			return Quant{All: true, Vars: append([]string{x}, g.Vars...), F: g.F}
+		}
+	}
+	return Quant{All: true, Vars: []string{x}, F: f}
+}
+
+// Rewritten is the output of the full §4.4 pipeline for one sentence.
+type Rewritten struct {
+	// Mode says how Body decides the sentence.
+	Mode CheckMode
+	// Stripped lists the variables of the dropped leading quantifier block;
+	// they occur free in Body. For CheckValidity these are the variables
+	// whose bindings witness violations.
+	Stripped []string
+	// Body is the rewritten formula to evaluate.
+	Body Formula
+}
+
+// RewriteOptions switches individual pipeline stages off for the ablation
+// experiments (Table 1 and Figure 6 compare these strategies).
+type RewriteOptions struct {
+	// Prenex enables standardize-apart + prenexing + leading-quantifier
+	// elimination. Without it the formula is evaluated as written and the
+	// whole sentence must evaluate to True.
+	Prenex bool
+	// PushForall enables Rule 5 push-down of the remaining ∀ quantifiers.
+	PushForall bool
+}
+
+// DefaultRewriteOptions enables the full pipeline the paper recommends.
+func DefaultRewriteOptions() RewriteOptions {
+	return RewriteOptions{Prenex: true, PushForall: true}
+}
+
+// Rewrite runs the pipeline on a sentence. The input must be closed
+// (Analyze ensures this).
+func Rewrite(f Formula, opts RewriteOptions) Rewritten {
+	g := NNF(ElimImplies(f))
+	if !opts.Prenex {
+		if opts.PushForall {
+			g = PushForall(g)
+		}
+		return Rewritten{Mode: CheckValidity, Body: g}
+	}
+	g = StandardizeApart(g)
+	prefix, matrix := Prenex(g)
+	mode, stripped, rest := StripLeading(prefix)
+	body := BuildPrefix(rest, matrix)
+	if opts.PushForall {
+		body = PushForall(body)
+	}
+	return Rewritten{Mode: mode, Stripped: stripped, Body: body}
+}

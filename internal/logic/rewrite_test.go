@@ -1,0 +1,346 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteEnv is a tiny model for checking rewrite soundness: predicates over
+// small explicit extensions, variables over a shared small domain.
+type bruteEnv struct {
+	domSize int
+	// extension of each predicate name: set of encoded argument tuples.
+	ext map[string]map[[3]int]bool
+}
+
+func (e *bruteEnv) eval(f Formula, binding map[string]int) bool {
+	switch g := f.(type) {
+	case Truth:
+		return g.Value
+	case Pred:
+		var key [3]int
+		for i, a := range g.Args {
+			v := a.(Var)
+			key[i] = binding[v.Name]
+		}
+		return e.ext[g.Table][key]
+	case Eq:
+		return binding[g.L.(Var).Name] == binding[g.R.(Var).Name]
+	case Neq:
+		return binding[g.L.(Var).Name] != binding[g.R.(Var).Name]
+	case Not:
+		return !e.eval(g.F, binding)
+	case And:
+		return e.eval(g.L, binding) && e.eval(g.R, binding)
+	case Or:
+		return e.eval(g.L, binding) || e.eval(g.R, binding)
+	case Implies:
+		return !e.eval(g.L, binding) || e.eval(g.R, binding)
+	case Quant:
+		return e.evalQuant(g, 0, binding)
+	default:
+		panic("unsupported formula in brute eval")
+	}
+}
+
+func (e *bruteEnv) evalQuant(q Quant, i int, binding map[string]int) bool {
+	if i == len(q.Vars) {
+		return e.eval(q.F, binding)
+	}
+	v := q.Vars[i]
+	saved, had := binding[v]
+	defer func() {
+		if had {
+			binding[v] = saved
+		} else {
+			delete(binding, v)
+		}
+	}()
+	for val := 0; val < e.domSize; val++ {
+		binding[v] = val
+		r := e.evalQuant(q, i+1, binding)
+		if q.All && !r {
+			return false
+		}
+		if !q.All && r {
+			return true
+		}
+	}
+	return q.All
+}
+
+// randFormula generates a random closed-ish formula over preds P, Q (arity
+// ≤3) and variables drawn from a small pool.
+func randFormula(rng *rand.Rand, vars []string, depth int) Formula {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Pred{Table: "P", Args: []Term{
+				Var{vars[rng.Intn(len(vars))]},
+				Var{vars[rng.Intn(len(vars))]},
+			}}
+		case 1:
+			return Pred{Table: "Q", Args: []Term{
+				Var{vars[rng.Intn(len(vars))]},
+				Var{vars[rng.Intn(len(vars))]},
+				Var{vars[rng.Intn(len(vars))]},
+			}}
+		case 2:
+			return Eq{L: Var{vars[rng.Intn(len(vars))]}, R: Var{vars[rng.Intn(len(vars))]}}
+		default:
+			return Truth{Value: rng.Intn(2) == 0}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return Not{F: randFormula(rng, vars, depth-1)}
+	case 1:
+		return And{L: randFormula(rng, vars, depth-1), R: randFormula(rng, vars, depth-1)}
+	case 2:
+		return Or{L: randFormula(rng, vars, depth-1), R: randFormula(rng, vars, depth-1)}
+	case 3:
+		return Implies{L: randFormula(rng, vars, depth-1), R: randFormula(rng, vars, depth-1)}
+	case 4, 5:
+		v := vars[rng.Intn(len(vars))]
+		return Quant{All: rng.Intn(2) == 0, Vars: []string{v}, F: randFormula(rng, vars, depth-1)}
+	default:
+		return randFormula(rng, vars, depth-1)
+	}
+}
+
+func randEnv(rng *rand.Rand, domSize int) *bruteEnv {
+	e := &bruteEnv{domSize: domSize, ext: map[string]map[[3]int]bool{
+		"P": {}, "Q": {},
+	}}
+	for a := 0; a < domSize; a++ {
+		for b := 0; b < domSize; b++ {
+			if rng.Intn(2) == 0 {
+				e.ext["P"][[3]int{a, b, 0}] = true
+			}
+			for c := 0; c < domSize; c++ {
+				if rng.Intn(3) == 0 {
+					e.ext["Q"][[3]int{a, b, c}] = true
+				}
+			}
+		}
+	}
+	return e
+}
+
+// closeFormula universally quantifies the free variables, as Analyze does.
+func closeFormula(f Formula) Formula {
+	if free := FreeVars(f); len(free) > 0 {
+		return Quant{All: true, Vars: free, F: f}
+	}
+	return f
+}
+
+// sentenceTruth evaluates a closed formula in the model.
+func (e *bruteEnv) sentenceTruth(f Formula) bool {
+	return e.eval(f, map[string]int{})
+}
+
+// rewrittenTruth evaluates a Rewritten result by brute force: validity means
+// true under every binding of the stripped variables, satisfiability under
+// some binding.
+func (e *bruteEnv) rewrittenTruth(rw Rewritten) bool {
+	var rec func(i int, binding map[string]int) bool
+	rec = func(i int, binding map[string]int) bool {
+		if i == len(rw.Stripped) {
+			return e.eval(rw.Body, binding)
+		}
+		for val := 0; val < e.domSize; val++ {
+			binding[rw.Stripped[i]] = val
+			r := rec(i+1, binding)
+			delete(binding, rw.Stripped[i])
+			if rw.Mode == CheckValidity && !r {
+				return false
+			}
+			if rw.Mode == CheckSatisfiability && r {
+				return true
+			}
+		}
+		return rw.Mode == CheckValidity
+	}
+	return rec(0, map[string]int{})
+}
+
+func TestRewritePreservesTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vars := []string{"x", "y", "z"}
+	optsList := []RewriteOptions{
+		{Prenex: true, PushForall: true},
+		{Prenex: true, PushForall: false},
+		{Prenex: false, PushForall: true},
+		{Prenex: false, PushForall: false},
+	}
+	for trial := 0; trial < 400; trial++ {
+		env := randEnv(rng, 3)
+		f := closeFormula(randFormula(rng, vars, 3))
+		want := env.sentenceTruth(f)
+		for _, opts := range optsList {
+			rw := Rewrite(f, opts)
+			if got := env.rewrittenTruth(rw); got != want {
+				t.Fatalf("trial %d opts %+v: rewritten truth %v, want %v\nformula: %s\nbody: %s (mode %v, stripped %v)",
+					trial, opts, got, want, f, rw.Body, rw.Mode, rw.Stripped)
+			}
+		}
+	}
+}
+
+func TestNNFEliminatesInnerNegations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vars := []string{"x", "y"}
+	var check func(f Formula, negated bool) bool
+	check = func(f Formula, negated bool) bool {
+		switch g := f.(type) {
+		case Not:
+			switch g.F.(type) {
+			case Pred, Eq, Neq, In, Truth:
+				return !negated && check(g.F, true)
+			default:
+				return false
+			}
+		case And:
+			return check(g.L, false) && check(g.R, false)
+		case Or:
+			return check(g.L, false) && check(g.R, false)
+		case Quant:
+			return check(g.F, false)
+		case Implies:
+			return false
+		default:
+			return true
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		f := NNF(ElimImplies(randFormula(rng, vars, 4)))
+		if !check(f, false) {
+			t.Fatalf("trial %d: NNF output has nested negation or implication: %s", trial, f)
+		}
+	}
+}
+
+func TestPrenexProducesQuantifierFreeMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vars := []string{"x", "y", "z"}
+	var quantFree func(f Formula) bool
+	quantFree = func(f Formula) bool {
+		switch g := f.(type) {
+		case Quant:
+			return false
+		case And:
+			return quantFree(g.L) && quantFree(g.R)
+		case Or:
+			return quantFree(g.L) && quantFree(g.R)
+		case Not:
+			return quantFree(g.F)
+		default:
+			return true
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		f := StandardizeApart(NNF(ElimImplies(closeFormula(randFormula(rng, vars, 4)))))
+		_, matrix := Prenex(f)
+		if !quantFree(matrix) {
+			t.Fatalf("trial %d: matrix still has quantifiers: %s", trial, matrix)
+		}
+	}
+}
+
+func TestStandardizeApartUniqueBinders(t *testing.T) {
+	f := mustParse(t, `(forall x: P(x)) and (forall x: Q(x)) and P(x)`)
+	g := StandardizeApart(f)
+	seen := map[string]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch h := f.(type) {
+		case Quant:
+			for _, v := range h.Vars {
+				if seen[v] {
+					t.Fatalf("binder %q repeated after standardize-apart: %s", v, g)
+				}
+				seen[v] = true
+			}
+			walk(h.F)
+		case And:
+			walk(h.L)
+			walk(h.R)
+		case Or:
+			walk(h.L)
+			walk(h.R)
+		case Not:
+			walk(h.F)
+		case Implies:
+			walk(h.L)
+			walk(h.R)
+		}
+	}
+	walk(g)
+	// The free x is untouched.
+	free := FreeVars(g)
+	if len(free) != 1 || free[0] != "x" {
+		t.Fatalf("free vars changed: %v", free)
+	}
+}
+
+func TestStripLeading(t *testing.T) {
+	prefix := []quantStep{{true, "a"}, {true, "b"}, {false, "c"}, {true, "d"}}
+	mode, stripped, rest := StripLeading(prefix)
+	if mode != CheckValidity {
+		t.Fatal("leading forall must give validity mode")
+	}
+	if len(stripped) != 2 || stripped[0] != "a" || stripped[1] != "b" {
+		t.Fatalf("stripped = %v", stripped)
+	}
+	if len(rest) != 2 || rest[0].v != "c" || rest[1].v != "d" {
+		t.Fatalf("rest = %v", rest)
+	}
+	mode, stripped, rest = StripLeading([]quantStep{{false, "x"}})
+	if mode != CheckSatisfiability || len(stripped) != 1 || len(rest) != 0 {
+		t.Fatal("single exists mishandled")
+	}
+	mode, stripped, rest = StripLeading(nil)
+	if mode != CheckValidity || stripped != nil || rest != nil {
+		t.Fatal("empty prefix mishandled")
+	}
+}
+
+func TestPushForallDistributesOverAnd(t *testing.T) {
+	f := mustParse(t, `forall x: P(x) and Q(x)`)
+	g := PushForall(NNF(ElimImplies(f)))
+	and, ok := g.(And)
+	if !ok {
+		t.Fatalf("expected top-level And, got %s", g)
+	}
+	if _, ok := and.L.(Quant); !ok {
+		t.Fatalf("expected quantifier pushed into left conjunct, got %s", and.L)
+	}
+	if _, ok := and.R.(Quant); !ok {
+		t.Fatalf("expected quantifier pushed into right conjunct, got %s", and.R)
+	}
+}
+
+func TestPushForallMiniScopesOverOr(t *testing.T) {
+	// x occurs only on the left of the disjunction.
+	f := mustParse(t, `forall x: P(x) or Q(y)`)
+	g := PushForall(NNF(ElimImplies(f)))
+	or, ok := g.(Or)
+	if !ok {
+		t.Fatalf("expected top-level Or, got %s", g)
+	}
+	if _, ok := or.L.(Quant); !ok {
+		t.Fatalf("expected quantifier scoped to left disjunct, got %s", g)
+	}
+	if _, ok := or.R.(Quant); ok {
+		t.Fatalf("right disjunct should not be quantified: %s", g)
+	}
+}
+
+func TestPushForallDropsUnusedQuantifier(t *testing.T) {
+	f := mustParse(t, `forall x: Q(y)`)
+	g := PushForall(NNF(ElimImplies(f)))
+	if _, ok := g.(Quant); ok {
+		t.Fatalf("vacuous quantifier should be dropped, got %s", g)
+	}
+}

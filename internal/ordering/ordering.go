@@ -1,0 +1,127 @@
+// Package ordering implements the paper's two BDD variable-ordering
+// heuristics over relational data (§3) plus the random and exhaustive
+// baselines used in the evaluation.
+//
+// Orderings are permutations of a table's column indices; the index layer
+// turns an ordering into a layout of finite-domain blocks (the attributes'
+// blocks are placed consecutively in the chosen order, as Theorem 1
+// prescribes for product-structured relations).
+package ordering
+
+import (
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// ActiveDomainSizes returns the per-column active-domain sizes of t, the
+// default domain sizes for the Φ measure.
+func ActiveDomainSizes(t *relation.Table) []int {
+	out := make([]int, t.NumCols())
+	for i := range out {
+		out[i] = t.ActiveDomainSize(i)
+	}
+	return out
+}
+
+// MaxInfGain returns the ordering produced by the information-gain greedy of
+// §3.1 (Figure 1): the first attribute minimizes the entropy H(v); each
+// following attribute maximizes the information gain against the chosen
+// prefix, which for a fixed prefix is the attribute minimizing the
+// conditional entropy H(v | prefix).
+func MaxInfGain(t *relation.Table) []int {
+	n := t.NumCols()
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	// First attribute: minimal entropy.
+	best, bestH := -1, 0.0
+	for v := 0; v < n; v++ {
+		h := stats.Entropy(t, []int{v})
+		if best == -1 || h < bestH {
+			best, bestH = v, h
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	for len(order) < n {
+		best, bestH = -1, 0.0
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			h := stats.CondEntropy(t, order, v)
+			if best == -1 || h < bestH {
+				best, bestH = v, h
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}
+
+// ProbConverge returns the ordering produced by the probability-convergence
+// greedy of §3.2: each step appends the attribute whose extended prefix has
+// the smallest Φ measure, driving Φ to 0 (membership decided) as early as
+// possible. domSizes may be nil, in which case the active-domain sizes of t
+// are used.
+func ProbConverge(t *relation.Table, domSizes []int) []int {
+	if domSizes == nil {
+		domSizes = ActiveDomainSizes(t)
+	}
+	n := t.NumCols()
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	for len(order) < n {
+		best, bestPhi := -1, 0.0
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			phi := stats.Phi(t, append(order, v), domSizes)
+			if best == -1 || phi < bestPhi {
+				best, bestPhi = v, phi
+			}
+		}
+		order = append(order, best)
+		used[best] = true
+	}
+	return order
+}
+
+// Random returns a uniformly random permutation of n columns.
+func Random(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// Identity returns the schema ordering 0..n-1.
+func Identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Permutations returns every permutation of 0..n-1 in lexicographic order.
+// It is meant for the exhaustive-optimal baseline on small attribute counts
+// (n! permutations).
+func Permutations(n int) [][]int {
+	var out [][]int
+	perm := Identity(n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}

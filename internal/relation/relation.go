@@ -1,0 +1,351 @@
+// Package relation provides the in-memory relational storage the logical
+// indices and the SQL baseline operate on: dictionary-encoded columns,
+// shared value domains, tables with insert/delete, and CSV import/export.
+//
+// Every column is attached to a named Domain whose dictionary maps attribute
+// values to dense integer codes. Columns that are compared or joined by
+// constraints (for example STUDENT.student_id and TAKES.student_id) must
+// share a Domain so that equal values receive equal codes; the Catalog
+// enforces this by construction.
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Domain is a named value dictionary shared by one or more table columns.
+// Codes are dense: the first distinct value interned gets code 0.
+type Domain struct {
+	name   string
+	byVal  map[string]int32
+	values []string
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Size returns the number of distinct values interned so far. It is the
+// active-domain size the paper's encodings and statistics are based on.
+func (d *Domain) Size() int { return len(d.values) }
+
+// Intern returns the code for v, assigning the next free code if v is new.
+func (d *Domain) Intern(v string) int32 {
+	if c, ok := d.byVal[v]; ok {
+		return c
+	}
+	c := int32(len(d.values))
+	d.byVal[v] = c
+	d.values = append(d.values, v)
+	return c
+}
+
+// Code returns the code for v, or false if v has never been interned.
+func (d *Domain) Code(v string) (int32, bool) {
+	c, ok := d.byVal[v]
+	return c, ok
+}
+
+// Value returns the value for a code previously returned by Intern.
+func (d *Domain) Value(code int32) string {
+	if code < 0 || int(code) >= len(d.values) {
+		panic(fmt.Sprintf("relation: code %d out of range for domain %q", code, d.name))
+	}
+	return d.values[code]
+}
+
+// Catalog owns domains and tables and guarantees domain sharing by name.
+type Catalog struct {
+	domains map[string]*Domain
+	tables  map[string]*Table
+	order   []string // table creation order, for deterministic listings
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		domains: make(map[string]*Domain),
+		tables:  make(map[string]*Table),
+	}
+}
+
+// Domain returns the domain with the given name, creating it if needed.
+func (c *Catalog) Domain(name string) *Domain {
+	if d, ok := c.domains[name]; ok {
+		return d
+	}
+	d := &Domain{name: name, byVal: make(map[string]int32)}
+	c.domains[name] = d
+	return d
+}
+
+// Column declares one attribute of a table schema.
+type Column struct {
+	// Name is the attribute name, unique within its table.
+	Name string
+	// Domain names the value domain. Columns in any table that share a
+	// Domain name share codes. If empty, Name is used.
+	Domain string
+}
+
+// CreateTable creates and registers an empty table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	if _, dup := c.tables[name]; dup {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: table %q has no columns", name)
+	}
+	t := &Table{name: name, catalog: c}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if seen[col.Name] {
+			return nil, fmt.Errorf("relation: table %q: duplicate column %q", name, col.Name)
+		}
+		seen[col.Name] = true
+		domName := col.Domain
+		if domName == "" {
+			domName = col.Name
+		}
+		t.cols = append(t.cols, columnInfo{name: col.Name, domain: c.Domain(domName)})
+	}
+	c.tables[name] = t
+	c.order = append(c.order, name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables lists the catalog's tables in creation order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+type columnInfo struct {
+	name   string
+	domain *Domain
+}
+
+// Table is a bag of tuples with dictionary-encoded columns. Row order is
+// insertion order; deletions compact by swapping with the last row.
+type Table struct {
+	name    string
+	catalog *Catalog
+	cols    []columnInfo
+	rows    [][]int32
+	version uint64
+}
+
+// Version returns a counter that increases on every mutation of the table.
+// Caches keyed on table contents (the evaluator's predicate cache) use it
+// for invalidation.
+func (t *Table) Version() uint64 { return t.version }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ColumnNames returns the attribute names in schema order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.name
+	}
+	return out
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.cols {
+		if c.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnDomain returns the value domain of column i.
+func (t *Table) ColumnDomain(i int) *Domain { return t.cols[i].domain }
+
+// Insert appends the tuple given as attribute values, interning new values
+// into the column domains, and returns the encoded row.
+func (t *Table) Insert(vals ...string) []int32 {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("relation: insert into %q with %d values, want %d", t.name, len(vals), len(t.cols)))
+	}
+	row := make([]int32, len(vals))
+	for i, v := range vals {
+		row[i] = t.cols[i].domain.Intern(v)
+	}
+	t.rows = append(t.rows, row)
+	t.version++
+	return row
+}
+
+// InsertCodes appends an already-encoded tuple. The caller is responsible
+// for the codes being valid for the column domains.
+func (t *Table) InsertCodes(row []int32) {
+	if len(row) != len(t.cols) {
+		panic(fmt.Sprintf("relation: insert into %q with %d codes, want %d", t.name, len(row), len(t.cols)))
+	}
+	t.rows = append(t.rows, append([]int32(nil), row...))
+	t.version++
+}
+
+// Delete removes the first row equal to the given attribute values and
+// reports whether one was found.
+func (t *Table) Delete(vals ...string) bool {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("relation: delete from %q with %d values, want %d", t.name, len(vals), len(t.cols)))
+	}
+	row := make([]int32, len(vals))
+	for i, v := range vals {
+		c, ok := t.cols[i].domain.Code(v)
+		if !ok {
+			return false
+		}
+		row[i] = c
+	}
+	return t.DeleteCodes(row)
+}
+
+// DeleteCodes removes the first row equal to the encoded tuple.
+func (t *Table) DeleteCodes(row []int32) bool {
+	for i, r := range t.rows {
+		if equalRows(r, row) {
+			last := len(t.rows) - 1
+			t.rows[i] = t.rows[last]
+			t.rows = t.rows[:last]
+			t.version++
+			return true
+		}
+	}
+	return false
+}
+
+func equalRows(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row returns the encoded row at index i. The slice must not be modified.
+func (t *Table) Row(i int) []int32 { return t.rows[i] }
+
+// Rows returns all encoded rows. The backing storage must not be modified.
+func (t *Table) Rows() [][]int32 { return t.rows }
+
+// Value decodes column c of row r.
+func (t *Table) Value(r, c int) string { return t.cols[c].domain.Value(t.rows[r][c]) }
+
+// DistinctCodes returns the sorted distinct codes appearing in column c.
+func (t *Table) DistinctCodes(c int) []int32 {
+	seen := make(map[int32]bool, 64)
+	for _, row := range t.rows {
+		seen[row[c]] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for code := range seen {
+		out = append(out, code)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActiveDomainSize returns the number of distinct values in column c of this
+// table. It can be smaller than the column's shared Domain size.
+func (t *Table) ActiveDomainSize(c int) int { return len(t.DistinctCodes(c)) }
+
+// Clone returns a deep copy of the table registered under newName.
+func (t *Table) Clone(newName string) (*Table, error) {
+	cols := make([]Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = Column{Name: c.name, Domain: c.domain.name}
+	}
+	nt, err := t.catalog.CreateTable(newName, cols)
+	if err != nil {
+		return nil, err
+	}
+	nt.rows = make([][]int32, len(t.rows))
+	for i, r := range t.rows {
+		nt.rows[i] = append([]int32(nil), r...)
+	}
+	return nt, nil
+}
+
+// Truncate removes all rows but keeps the schema and domains.
+func (t *Table) Truncate() {
+	t.rows = t.rows[:0]
+	t.version++
+}
+
+// WriteCSV writes the table with a header row of column names.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.cols))
+	for r := range t.rows {
+		for c := range t.cols {
+			rec[c] = t.Value(r, c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV creates a table named name from CSV data with a header row. Each
+// column's domain defaults to its header name prefixed with the table name
+// unless a name→domain override is given in domains.
+func (c *Catalog) ReadCSV(name string, r io.Reader, domains map[string]string) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading %q header: %w", name, err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		dom := name + "." + h
+		if d, ok := domains[h]; ok {
+			dom = d
+		}
+		cols[i] = Column{Name: h, Domain: dom}
+	}
+	t, err := c.CreateTable(name, cols)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading %q: %w", name, err)
+		}
+		t.Insert(rec...)
+	}
+	return t, nil
+}

@@ -1,0 +1,199 @@
+package relation_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestDomainInternAndLookup(t *testing.T) {
+	cat := relation.NewCatalog()
+	d := cat.Domain("city")
+	if d.Size() != 0 {
+		t.Fatal("fresh domain not empty")
+	}
+	a := d.Intern("Toronto")
+	b := d.Intern("Oshawa")
+	if a == b {
+		t.Fatal("distinct values share a code")
+	}
+	if again := d.Intern("Toronto"); again != a {
+		t.Fatal("re-intern changed the code")
+	}
+	if c, ok := d.Code("Toronto"); !ok || c != a {
+		t.Fatal("Code lookup failed")
+	}
+	if _, ok := d.Code("nowhere"); ok {
+		t.Fatal("unknown value resolved")
+	}
+	if d.Value(a) != "Toronto" || d.Value(b) != "Oshawa" {
+		t.Fatal("Value decoding wrong")
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", d.Size())
+	}
+}
+
+func TestDomainSharingAcrossTables(t *testing.T) {
+	cat := relation.NewCatalog()
+	s, err := cat.CreateTable("STUDENT", []relation.Column{
+		{Name: "id", Domain: "student_id"},
+		{Name: "dept"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	takes, err := cat.CreateTable("TAKES", []relation.Column{
+		{Name: "sid", Domain: "student_id"},
+		{Name: "cid"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Insert("s1", "CS")
+	r2 := takes.Insert("s1", "c1")
+	if r1[0] != r2[0] {
+		t.Fatal("shared domain must give equal codes for equal values")
+	}
+	if s.ColumnDomain(0) != takes.ColumnDomain(0) {
+		t.Fatal("shared domain objects differ")
+	}
+	// Unshared columns default to table-independent domains.
+	if s.ColumnDomain(1) == takes.ColumnDomain(1) {
+		t.Fatal("distinct default domains expected")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	cat := relation.NewCatalog()
+	if _, err := cat.CreateTable("T", nil); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := cat.CreateTable("T", []relation.Column{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := cat.CreateTable("T", []relation.Column{{Name: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateTable("T", []relation.Column{{Name: "a"}}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, _ := cat.CreateTable("T", []relation.Column{{Name: "a"}, {Name: "b"}})
+	tbl.Insert("x", "1")
+	tbl.Insert("y", "2")
+	tbl.Insert("x", "1") // duplicate: tables are bags
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	if !tbl.Delete("x", "1") {
+		t.Fatal("delete failed")
+	}
+	if tbl.Len() != 2 {
+		t.Fatal("delete removed wrong count")
+	}
+	if tbl.Delete("z", "9") {
+		t.Fatal("deleting a missing tuple succeeded")
+	}
+	if !tbl.Delete("x", "1") || tbl.Delete("x", "1") {
+		t.Fatal("bag semantics broken")
+	}
+}
+
+func TestDistinctAndActiveDomain(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, _ := cat.CreateTable("T", []relation.Column{{Name: "a"}, {Name: "b"}})
+	tbl.Insert("x", "1")
+	tbl.Insert("y", "1")
+	tbl.Insert("x", "2")
+	if got := tbl.ActiveDomainSize(0); got != 2 {
+		t.Fatalf("ActiveDomainSize(0) = %d", got)
+	}
+	if got := tbl.ActiveDomainSize(1); got != 2 {
+		t.Fatalf("ActiveDomainSize(1) = %d", got)
+	}
+	codes := tbl.DistinctCodes(0)
+	if len(codes) != 2 || codes[0] > codes[1] {
+		t.Fatalf("DistinctCodes = %v", codes)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, _ := cat.CreateTable("T", []relation.Column{{Name: "a"}, {Name: "b"}})
+	tbl.Insert("x", "hello, world")
+	tbl.Insert("y", `with "quotes"`)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := relation.NewCatalog()
+	back, err := cat2.ReadCSV("T2", strings.NewReader(buf.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	if back.Value(0, 1) != "hello, world" || back.Value(1, 1) != `with "quotes"` {
+		t.Fatal("values corrupted in round trip")
+	}
+	names := back.ColumnNames()
+	if names[0] != "a" || names[1] != "b" {
+		t.Fatalf("header corrupted: %v", names)
+	}
+}
+
+func TestReadCSVDomainOverride(t *testing.T) {
+	cat := relation.NewCatalog()
+	src := "city,state\nToronto,ON\n"
+	t1, err := cat.ReadCSV("A", strings.NewReader(src), map[string]string{"city": "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cat.ReadCSV("B", strings.NewReader(src), map[string]string{"city": "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.ColumnDomain(0) != t2.ColumnDomain(0) {
+		t.Fatal("override should share the city domain")
+	}
+	if t1.ColumnDomain(1) == t2.ColumnDomain(1) {
+		t.Fatal("non-overridden columns should not share")
+	}
+}
+
+func TestClone(t *testing.T) {
+	cat := relation.NewCatalog()
+	tbl, _ := cat.CreateTable("T", []relation.Column{{Name: "a"}})
+	tbl.Insert("x")
+	cp, err := tbl.Clone("T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Insert("y")
+	if tbl.Len() != 1 || cp.Len() != 2 {
+		t.Fatal("clone shares row storage")
+	}
+	if cp.ColumnDomain(0) != tbl.ColumnDomain(0) {
+		t.Fatal("clone must share domains")
+	}
+}
+
+func TestTablesListing(t *testing.T) {
+	cat := relation.NewCatalog()
+	cat.CreateTable("B", []relation.Column{{Name: "x"}})
+	cat.CreateTable("A", []relation.Column{{Name: "x"}})
+	ts := cat.Tables()
+	if len(ts) != 2 || ts[0].Name() != "B" || ts[1].Name() != "A" {
+		t.Fatal("Tables must list in creation order")
+	}
+	if cat.Table("missing") != nil {
+		t.Fatal("missing table should be nil")
+	}
+}

@@ -1,0 +1,353 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// compile.go translates first-order constraints into relational-algebra
+// plans computing their violating variable bindings — the SQL-side
+// counterpart of the BDD evaluator, corresponding to the hand-written
+// violation queries of the paper's introduction (selection + NOT EXISTS).
+//
+// The translation is the classical safe evaluation of relational calculus
+// over active domains: a constraint F is violated iff ¬F is satisfiable, so
+// the compiler normalizes ¬F, strips its leading existential quantifiers
+// (their bindings are the violation witnesses), and translates the body
+// bottom-up, maintaining the invariant that the plan of a subformula
+// produces exactly the subformula's free variables. Negation compiles to
+// anti-joins when the enclosing conjunction binds the negated variables, and
+// to active-domain differences otherwise.
+
+// Query is a compiled violation query for one constraint.
+type Query struct {
+	// Constraint is the source constraint.
+	Constraint logic.Constraint
+	// Witnesses names the variables whose bindings identify violations
+	// (the leading universally quantified variables of the constraint).
+	Witnesses []string
+	plan      Plan
+}
+
+// Plan returns the root of the compiled algebra plan.
+func (q *Query) Plan() Plan { return q.plan }
+
+// SQL renders the plan in explanatory SQL-like syntax.
+func (q *Query) SQL() string { return q.plan.SQL() }
+
+// Run executes the plan. The constraint is violated iff the result is
+// nonempty; the rows bind the Witnesses variables.
+func (q *Query) Run() (violated bool, witnesses *Rows, err error) {
+	rows, err := q.plan.Run()
+	if err != nil {
+		return false, nil, err
+	}
+	return rows.Len() > 0, rows, nil
+}
+
+type compiler struct {
+	an *logic.Analysis
+}
+
+// Compile builds the violation query of a constraint.
+func Compile(c logic.Constraint, res logic.Resolver) (*Query, error) {
+	an, err := logic.Analyze(c.F, res)
+	if err != nil {
+		return nil, err
+	}
+	neg := logic.NNF(logic.Not{F: logic.ElimImplies(an.F)})
+	// Strip leading existential quantifiers: their bindings are the
+	// violation witnesses.
+	var witnesses []string
+	for {
+		q, ok := neg.(logic.Quant)
+		if !ok || q.All {
+			break
+		}
+		witnesses = append(witnesses, q.Vars...)
+		neg = q.F
+	}
+	comp := &compiler{an: an}
+	plan, err := comp.translate(neg)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: compiling %s: %w", c.Name, err)
+	}
+	return &Query{Constraint: c, Witnesses: witnesses, plan: plan}, nil
+}
+
+func (c *compiler) domainOf(v string) (*relation.Domain, error) {
+	d := c.an.Domain(v)
+	if d == nil {
+		return nil, fmt.Errorf("variable %s has no domain", v)
+	}
+	return d, nil
+}
+
+// pad joins active-domain scans into plan until it produces every variable
+// in want.
+func (c *compiler) pad(plan Plan, want []string) (Plan, error) {
+	have := make(map[string]bool)
+	for _, v := range plan.Vars() {
+		have[v] = true
+	}
+	for _, v := range want {
+		if have[v] {
+			continue
+		}
+		have[v] = true
+		d, err := c.domainOf(v)
+		if err != nil {
+			return nil, err
+		}
+		plan = &Join{L: plan, R: &DomainScan{Var: v, Dom: d}}
+	}
+	return plan, nil
+}
+
+func (c *compiler) translate(f logic.Formula) (Plan, error) {
+	switch g := f.(type) {
+	case logic.Truth:
+		if g.Value {
+			return Unit{}, nil
+		}
+		return Empty{}, nil
+	case logic.Pred:
+		return c.translatePred(g)
+	case logic.Eq, logic.Neq, logic.In:
+		// A comparison standing alone ranges its variables over their
+		// active domains.
+		plan, err := c.pad(Unit{}, logic.FreeVars(f))
+		if err != nil {
+			return nil, err
+		}
+		return c.applyComparison(plan, f)
+	case logic.Not:
+		inner, err := c.translate(g.F)
+		if err != nil {
+			return nil, err
+		}
+		dom, err := c.pad(Unit{}, logic.FreeVars(g.F))
+		if err != nil {
+			return nil, err
+		}
+		return &Diff{L: dom, R: inner}, nil
+	case logic.And:
+		return c.translateAnd(flattenAnd(f))
+	case logic.Or:
+		l, err := c.translate(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.translate(g.R)
+		if err != nil {
+			return nil, err
+		}
+		all := logic.FreeVars(f)
+		if l, err = c.pad(l, all); err != nil {
+			return nil, err
+		}
+		if r, err = c.pad(r, all); err != nil {
+			return nil, err
+		}
+		return &Union{L: l, R: r}, nil
+	case logic.Quant:
+		if !g.All {
+			inner, err := c.translate(g.F)
+			if err != nil {
+				return nil, err
+			}
+			return &Project{Child: inner, Keep: logic.FreeVars(f)}, nil
+		}
+		// ∀x φ  ≡  ¬∃x ¬φ over the active domain.
+		inner, err := c.translate(logic.NNF(logic.Not{F: g.F}))
+		if err != nil {
+			return nil, err
+		}
+		free := logic.FreeVars(f)
+		counter := &Project{Child: inner, Keep: free}
+		dom, err := c.pad(Unit{}, free)
+		if err != nil {
+			return nil, err
+		}
+		return &Diff{L: dom, R: counter}, nil
+	case logic.Implies:
+		return nil, fmt.Errorf("implication survived normalization")
+	default:
+		return nil, fmt.Errorf("cannot translate %T", f)
+	}
+}
+
+func flattenAnd(f logic.Formula) []logic.Formula {
+	if a, ok := f.(logic.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []logic.Formula{f}
+}
+
+// translateAnd orders a conjunction for efficient evaluation: positive
+// relational parts are joined first, comparisons become filters, and
+// negations become anti-joins against the accumulated plan — the NOT EXISTS
+// shape of the paper's violation queries.
+func (c *compiler) translateAnd(conjuncts []logic.Formula) (Plan, error) {
+	var positives, negatives, comparisons []logic.Formula
+	for _, f := range conjuncts {
+		switch g := f.(type) {
+		case logic.Not:
+			negatives = append(negatives, g.F)
+		case logic.Eq, logic.Neq, logic.In:
+			comparisons = append(comparisons, f)
+		case logic.Truth:
+			if !g.Value {
+				return Empty{}, nil
+			}
+		case logic.Quant:
+			if g.All {
+				// A universal conjunct anti-joins as ¬∃¬ against the rest of
+				// the conjunction — the NOT EXISTS shape — instead of the
+				// active-domain difference the standalone translation uses.
+				negatives = append(negatives,
+					logic.Quant{All: false, Vars: g.Vars, F: logic.NNF(logic.Not{F: g.F})})
+			} else {
+				positives = append(positives, f)
+			}
+		default:
+			positives = append(positives, f)
+		}
+	}
+	var plan Plan = Unit{}
+	for _, f := range positives {
+		p, err := c.translate(f)
+		if err != nil {
+			return nil, err
+		}
+		plan = &Join{L: plan, R: p}
+	}
+	// Comparisons: make sure their variables are bound, then filter.
+	for _, f := range comparisons {
+		var err error
+		if plan, err = c.pad(plan, logic.FreeVars(f)); err != nil {
+			return nil, err
+		}
+		if plan, err = c.applyComparison(plan, f); err != nil {
+			return nil, err
+		}
+	}
+	// Negations: anti-join; the outer side must bind the inner variables.
+	for _, f := range negatives {
+		var err error
+		if plan, err = c.pad(plan, logic.FreeVars(f)); err != nil {
+			return nil, err
+		}
+		inner, err := c.translate(f)
+		if err != nil {
+			return nil, err
+		}
+		plan = &AntiJoin{L: plan, R: inner}
+	}
+	return plan, nil
+}
+
+func (c *compiler) applyComparison(plan Plan, f logic.Formula) (Plan, error) {
+	filter := &Filter{Child: plan}
+	switch g := f.(type) {
+	case logic.Eq:
+		if err := c.fillEq(filter, g.L, g.R, false); err != nil {
+			return nil, err
+		}
+	case logic.Neq:
+		if err := c.fillEq(filter, g.L, g.R, true); err != nil {
+			return nil, err
+		}
+	case logic.In:
+		v, ok := g.T.(logic.Var)
+		if !ok {
+			return nil, fmt.Errorf("'in' requires a variable")
+		}
+		d, err := c.domainOf(v.Name)
+		if err != nil {
+			return nil, err
+		}
+		codes := make(map[int32]bool, len(g.Values))
+		for _, val := range g.Values {
+			if code, ok := d.Code(val); ok {
+				codes[code] = true
+			}
+		}
+		filter.InSet = []VarSet{{Var: v.Name, Codes: codes}}
+	default:
+		return nil, fmt.Errorf("not a comparison: %T", f)
+	}
+	return filter, nil
+}
+
+func (c *compiler) fillEq(filter *Filter, l, r logic.Term, negate bool) error {
+	lv, lIsVar := l.(logic.Var)
+	rv, rIsVar := r.(logic.Var)
+	switch {
+	case lIsVar && rIsVar:
+		if negate {
+			filter.NeqVar = [][2]string{{lv.Name, rv.Name}}
+		} else {
+			filter.EqVar = [][2]string{{lv.Name, rv.Name}}
+		}
+	case lIsVar || rIsVar:
+		v, cst := lv, r
+		if rIsVar {
+			v, cst = rv, l
+		}
+		d, err := c.domainOf(v.Name)
+		if err != nil {
+			return err
+		}
+		code, ok := d.Code(cst.(logic.Const).Value)
+		vc := VarConst{Var: v.Name, Code: code, Miss: !ok}
+		if negate {
+			filter.NeqConst = []VarConst{vc}
+		} else {
+			filter.EqConst = []VarConst{vc}
+		}
+	default:
+		lc, rc := l.(logic.Const), r.(logic.Const)
+		eq := lc.Value == rc.Value
+		if eq == negate {
+			// Constant-false comparison: empty filter result via an
+			// unsatisfiable constant condition.
+			filter.EqConst = []VarConst{{Miss: true}}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) translatePred(p logic.Pred) (Plan, error) {
+	b, ok := c.an.Preds[p.Table]
+	if !ok {
+		return nil, fmt.Errorf("unresolved predicate %s", p.Table)
+	}
+	s := &Scan{Table: b.Table}
+	firstPos := make(map[string]int)
+	for i, arg := range p.Args {
+		col := b.Cols[i]
+		switch a := arg.(type) {
+		case logic.Const:
+			code, ok := b.Table.ColumnDomain(col).Code(a.Value)
+			if !ok {
+				// Unknown constant: no tuple can match; an impossible
+				// constant filter yields the correctly-typed empty scan.
+				s.Consts = append(s.Consts, ConstFilter{Col: col, Code: -1})
+				continue
+			}
+			s.Consts = append(s.Consts, ConstFilter{Col: col, Code: code})
+		case logic.Var:
+			if j, seen := firstPos[a.Name]; seen {
+				s.EqCols = append(s.EqCols, [2]int{b.Cols[j], col})
+			} else {
+				firstPos[a.Name] = i
+				s.OutCols = append(s.OutCols, col)
+				s.OutVars = append(s.OutVars, a.Name)
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,300 @@
+package sqlengine_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/sqlengine"
+)
+
+func deck(t *testing.T) *relation.Catalog {
+	t.Helper()
+	cat := relation.NewCatalog()
+	r, err := cat.CreateTable("R", []relation.Column{
+		{Name: "a", Domain: "D1"}, {Name: "b", Domain: "D2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cat.CreateTable("S", []relation.Column{
+		{Name: "b", Domain: "D2"}, {Name: "c", Domain: "D3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Insert("a1", "b1")
+	r.Insert("a1", "b2")
+	r.Insert("a2", "b1")
+	r.Insert("a2", "b1") // duplicate
+	s.Insert("b1", "c1")
+	s.Insert("b2", "c2")
+	s.Insert("b3", "c1")
+	return cat
+}
+
+func rowSet(r *sqlengine.Rows) []string {
+	var out []string
+	for i := 0; i < r.Len(); i++ {
+		out = append(out, strings.Join(r.Decode(i), "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func scan(t *testing.T, cat *relation.Catalog, table string, vars ...string) *sqlengine.Scan {
+	t.Helper()
+	tbl := cat.Table(table)
+	s := &sqlengine.Scan{Table: tbl}
+	for i, v := range vars {
+		s.OutCols = append(s.OutCols, i)
+		s.OutVars = append(s.OutVars, v)
+	}
+	return s
+}
+
+func TestScanDedupes(t *testing.T) {
+	cat := deck(t)
+	rows, err := scan(t, cat, "R", "x", "y").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("scan should dedupe: got %d rows", rows.Len())
+	}
+}
+
+func TestScanConstFilter(t *testing.T) {
+	cat := deck(t)
+	s := scan(t, cat, "R", "x", "y")
+	code, _ := cat.Domain("D1").Code("a1")
+	s.Consts = []sqlengine.ConstFilter{{Col: 0, Code: code}}
+	rows, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowSet(rows)
+	want := []string{"a1|b1", "a1|b2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	cat := deck(t)
+	j := &sqlengine.Join{
+		L: scan(t, cat, "R", "x", "y"),
+		R: scan(t, cat, "S", "y", "z"),
+	}
+	rows, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowSet(rows)
+	want := []string{"a1|b1|c1", "a1|b2|c2", "a2|b1|c1"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("join got %v, want %v", got, want)
+	}
+}
+
+func TestCrossJoinNoSharedVars(t *testing.T) {
+	cat := deck(t)
+	j := &sqlengine.Join{
+		L: scan(t, cat, "R", "x", "y"),
+		R: scan(t, cat, "S", "u", "z"),
+	}
+	rows, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3*3 {
+		t.Fatalf("cross product size %d, want 9", rows.Len())
+	}
+}
+
+func TestAntiJoin(t *testing.T) {
+	cat := deck(t)
+	a := &sqlengine.AntiJoin{
+		L: scan(t, cat, "R", "x", "y"),
+		R: scan(t, cat, "S", "y", "z"),
+	}
+	// R rows whose b has no S partner: none (b1 and b2 both appear in S).
+	rows, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatalf("anti-join got %d rows, want 0", rows.Len())
+	}
+	// Remove S(b2, c2): now R(a1,b2) survives.
+	cat.Table("S").Delete("b2", "c2")
+	rows, err = a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowSet(rows)
+	if len(got) != 1 || got[0] != "a1|b2" {
+		t.Fatalf("anti-join got %v", got)
+	}
+}
+
+func TestProjectUnionDiff(t *testing.T) {
+	cat := deck(t)
+	p := &sqlengine.Project{Child: scan(t, cat, "R", "x", "y"), Keep: []string{"y"}}
+	rows, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("project got %d rows, want 2", rows.Len())
+	}
+	sb := &sqlengine.Project{Child: scan(t, cat, "S", "y", "z"), Keep: []string{"y"}}
+	u := &sqlengine.Union{L: p, R: sb}
+	rows, err = u.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 { // b1, b2, b3
+		t.Fatalf("union got %d rows, want 3", rows.Len())
+	}
+	d := &sqlengine.Diff{L: sb, R: p}
+	rows, err = d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowSet(rows)
+	if len(got) != 1 || got[0] != "b3" {
+		t.Fatalf("diff got %v", got)
+	}
+}
+
+func TestDomainScan(t *testing.T) {
+	cat := deck(t)
+	ds := &sqlengine.DomainScan{Var: "x", Dom: cat.Domain("D1")}
+	rows, err := ds.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != cat.Domain("D1").Size() {
+		t.Fatalf("domain scan got %d rows", rows.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	cat := deck(t)
+	code, _ := cat.Domain("D2").Code("b1")
+	f := &sqlengine.Filter{
+		Child:   scan(t, cat, "R", "x", "y"),
+		EqConst: []sqlengine.VarConst{{Var: "y", Code: code}},
+	}
+	rows, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("filter got %d rows, want 2", rows.Len())
+	}
+	fm := &sqlengine.Filter{
+		Child:   scan(t, cat, "R", "x", "y"),
+		EqConst: []sqlengine.VarConst{{Var: "y", Miss: true}},
+	}
+	rows, err = fm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Fatal("missing-constant equality should yield no rows")
+	}
+}
+
+func TestCompiledInclusionQuery(t *testing.T) {
+	cat := deck(t)
+	f, err := logic.Parse(`forall x, y: R(x, y) => exists z: S(y, z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlengine.Compile(logic.Constraint{Name: "inc", F: f},
+		logic.CatalogResolver{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated, rows, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatalf("constraint should hold, got violations %v", rowSet(rows))
+	}
+	// Break it.
+	cat.Table("S").Delete("b2", "c2")
+	violated, rows, err = q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatal("constraint should be violated")
+	}
+	got := rowSet(rows)
+	if len(got) != 1 || got[0] != "a1|b2" {
+		t.Fatalf("violations = %v", got)
+	}
+	// Witness variables are the leading universals.
+	if len(q.Witnesses) != 2 {
+		t.Fatalf("witnesses = %v", q.Witnesses)
+	}
+	// The SQL rendering mentions the anti-join shape.
+	if !strings.Contains(q.SQL(), "NOT EXISTS") {
+		t.Fatalf("SQL rendering lacks NOT EXISTS:\n%s", q.SQL())
+	}
+}
+
+func TestCompiledDisjunctionAndNegation(t *testing.T) {
+	cat := deck(t)
+	f, err := logic.Parse(`forall x, y: R(x, y) => (y = "b1" or not S(y, "c2"))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlengine.Compile(logic.Constraint{Name: "dn", F: f},
+		logic.CatalogResolver{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated, rows, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violation needs R(x,y) with y != b1 and S(y,"c2"): R(a1,b2), S(b2,c2).
+	if !violated || rows.Len() != 1 {
+		t.Fatalf("violated=%v rows=%v", violated, rowSet(rows))
+	}
+}
+
+func TestCompiledExistentialConstraint(t *testing.T) {
+	cat := deck(t)
+	f, err := logic.Parse(`exists x: R(x, "b2")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlengine.Compile(logic.Constraint{Name: "ex", F: f},
+		logic.CatalogResolver{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violated, _, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("existence holds, must not be violated")
+	}
+	cat.Table("R").Delete("a1", "b2")
+	violated, _, err = q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !violated {
+		t.Fatal("existence no longer holds")
+	}
+}

@@ -1,0 +1,123 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// quick_test.go: information-theoretic invariants of the ordering measures
+// on random tables.
+
+type qTable struct {
+	t    *relation.Table
+	doms []int
+}
+
+func tableConfig(seed int64) *quick.Config {
+	rng := rand.New(rand.NewSource(seed))
+	counter := 0
+	return &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				counter++
+				cat := relation.NewCatalog()
+				cols := 2 + rng.Intn(3)
+				specs := make([]relation.Column, cols)
+				doms := make([]int, cols)
+				for c := range specs {
+					specs[c] = relation.Column{Name: fmt.Sprintf("a%d", c)}
+					doms[c] = 2 + rng.Intn(6)
+				}
+				t, err := cat.CreateTable(fmt.Sprintf("T%d", counter), specs)
+				if err != nil {
+					panic(err)
+				}
+				n := 1 + rng.Intn(60)
+				for j := 0; j < n; j++ {
+					row := make([]string, cols)
+					for c := range row {
+						row[c] = fmt.Sprintf("v%d", rng.Intn(doms[c]))
+					}
+					t.Insert(row...)
+				}
+				args[i] = reflect.ValueOf(qTable{t: t, doms: doms})
+			}
+		},
+	}
+}
+
+const eps = 1e-9
+
+func TestQuickEntropyBounds(t *testing.T) {
+	property := func(q qTable) bool {
+		for c := 0; c < q.t.NumCols(); c++ {
+			h := stats.Entropy(q.t, []int{c})
+			if h < -eps {
+				return false
+			}
+			if h > math.Log2(float64(q.t.ActiveDomainSize(c)))+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, tableConfig(31)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEntropyMonotoneInPrefix(t *testing.T) {
+	// H(a,b) ≥ H(a): adding attributes never reduces joint entropy.
+	property := func(q qTable) bool {
+		if q.t.NumCols() < 2 {
+			return true
+		}
+		return stats.Entropy(q.t, []int{0, 1})+eps >= stats.Entropy(q.t, []int{0})
+	}
+	if err := quick.Check(property, tableConfig(37)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCondEntropyNonNegative(t *testing.T) {
+	property := func(q qTable) bool {
+		if q.t.NumCols() < 2 {
+			return true
+		}
+		return stats.CondEntropy(q.t, []int{0}, 1) >= -eps
+	}
+	if err := quick.Check(property, tableConfig(41)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPhiNonNegativeAndZeroOnFullPrefix(t *testing.T) {
+	property := func(q qTable) bool {
+		all := make([]int, q.t.NumCols())
+		sizes := make([]int, q.t.NumCols())
+		for i := range all {
+			all[i] = i
+			sizes[i] = q.t.ActiveDomainSize(i)
+			if sizes[i] == 0 {
+				sizes[i] = 1
+			}
+		}
+		for i := range all {
+			if stats.Phi(q.t, all[:i], sizes) < -eps {
+				return false
+			}
+		}
+		return math.Abs(stats.Phi(q.t, all, sizes)) < eps
+	}
+	if err := quick.Check(property, tableConfig(43)); err != nil {
+		t.Fatal(err)
+	}
+}

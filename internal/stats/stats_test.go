@@ -1,0 +1,115 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func table(t *testing.T, rows [][]string) *relation.Table {
+	t.Helper()
+	cat := relation.NewCatalog()
+	cols := make([]relation.Column, len(rows[0]))
+	for i := range cols {
+		cols[i] = relation.Column{Name: string(rune('a' + i))}
+	}
+	tbl, err := cat.CreateTable("T", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		tbl.Insert(r...)
+	}
+	return tbl
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEntropyUniform(t *testing.T) {
+	tbl := table(t, [][]string{{"a", "x"}, {"b", "x"}, {"c", "x"}, {"d", "x"}})
+	if got := stats.Entropy(tbl, []int{0}); !approx(got, 2) {
+		t.Fatalf("H(a) = %v, want 2", got)
+	}
+	if got := stats.Entropy(tbl, []int{1}); !approx(got, 0) {
+		t.Fatalf("H(b) = %v, want 0 (constant column)", got)
+	}
+	if got := stats.Entropy(tbl, []int{0, 1}); !approx(got, 2) {
+		t.Fatalf("H(a,b) = %v, want 2", got)
+	}
+}
+
+func TestEntropySetSemantics(t *testing.T) {
+	// Duplicate tuples count once.
+	tbl := table(t, [][]string{{"a"}, {"a"}, {"a"}, {"b"}})
+	if got := stats.Entropy(tbl, []int{0}); !approx(got, 1) {
+		t.Fatalf("H = %v, want 1 under set semantics", got)
+	}
+}
+
+func TestCondEntropyAndInfoGain(t *testing.T) {
+	// b is a function of a: H(b|a) = 0, so the gain is H(a).
+	tbl := table(t, [][]string{{"a1", "x"}, {"a2", "y"}, {"a3", "x"}, {"a4", "y"}})
+	if got := stats.CondEntropy(tbl, []int{0}, 1); !approx(got, 0) {
+		t.Fatalf("H(b|a) = %v, want 0", got)
+	}
+	if got := stats.InfoGain(tbl, []int{0}, 1); !approx(got, 2) {
+		t.Fatalf("I = %v, want 2", got)
+	}
+	// Independent uniform columns: H(b|a) = H(b).
+	tbl2 := table(t, [][]string{
+		{"a1", "x"}, {"a1", "y"}, {"a2", "x"}, {"a2", "y"},
+	})
+	if got := stats.CondEntropy(tbl2, []int{0}, 1); !approx(got, 1) {
+		t.Fatalf("H(b|a) = %v, want 1", got)
+	}
+}
+
+func TestCondEntropyChainRule(t *testing.T) {
+	tbl := table(t, [][]string{
+		{"a", "x", "1"}, {"a", "y", "2"}, {"b", "x", "2"}, {"b", "y", "1"}, {"b", "y", "2"},
+	})
+	// H(c | a,b) = H(a,b,c) − H(a,b), by definition.
+	lhs := stats.CondEntropy(tbl, []int{0, 1}, 2)
+	rhs := stats.Entropy(tbl, []int{0, 1, 2}) - stats.Entropy(tbl, []int{0, 1})
+	if !approx(lhs, rhs) {
+		t.Fatalf("chain rule broken: %v != %v", lhs, rhs)
+	}
+}
+
+func TestPhiFullPrefixIsZero(t *testing.T) {
+	// Φ(V) = 0: with all attributes known, φ ∈ {0, 1}.
+	tbl := table(t, [][]string{{"a", "x"}, {"b", "y"}, {"c", "x"}})
+	dom := []int{tbl.ActiveDomainSize(0), tbl.ActiveDomainSize(1)}
+	if got := stats.Phi(tbl, []int{0, 1}, dom); !approx(got, 0) {
+		t.Fatalf("Φ(V) = %v, want 0", got)
+	}
+}
+
+func TestPhiPrefersDecidingAttribute(t *testing.T) {
+	// R = R1(a) × R2(b,c) with R1 = {a1} (decides nothing: all values of a
+	// in R have every completion present or absent together)… use a sharper
+	// case: a ∈ {a1,a2} where a1 pairs with every (b), a2 with none.
+	tbl := table(t, [][]string{
+		{"a1", "x"}, {"a1", "y"}, {"a1", "z"},
+		{"a2", "x"},
+	})
+	dom := []int{2, 3}
+	// Prefix ⟨a⟩: φ(a1) = 3/3 = 1 (contributes 0), φ(a2) = 1/3.
+	phiA := stats.Phi(tbl, []int{0}, dom)
+	// Prefix ⟨b⟩: φ(x) = 2/2 = 1, φ(y) = φ(z) = 1/2 each.
+	phiB := stats.Phi(tbl, []int{1}, dom)
+	if phiA >= phiB {
+		t.Fatalf("Φ(a)=%v should be below Φ(b)=%v: a decides membership faster", phiA, phiB)
+	}
+}
+
+func TestPhiEmptyPrefix(t *testing.T) {
+	tbl := table(t, [][]string{{"a", "x"}, {"b", "y"}})
+	dom := []int{2, 2}
+	// φ(⟨⟩) = |R| / |dom product| = 2/4; Φ = −(1/2)·log(1/2) = 1/2.
+	if got := stats.Phi(tbl, nil, dom); !approx(got, 0.5) {
+		t.Fatalf("Φ(∅) = %v, want 0.5", got)
+	}
+}

@@ -5,16 +5,20 @@
 // Usage:
 //
 //	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold]
-//	        [-full] [-seed N]
+//	        [-full] [-seed N] [-json rows.jsonl]
 //
 // By default reduced workload sizes keep the whole run in laptop-minutes;
 // -full selects the paper-scale parameters (400k-tuple relations, all 120
-// orderings, 10^7-node threshold fills).
+// orderings, 10^7-node threshold fills). -json additionally writes one JSON
+// object per timed measurement (JSON Lines) for downstream tooling; "-"
+// selects stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -43,9 +47,30 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
 	full := flag.Bool("full", false, "paper-scale workloads")
 	seed := flag.Int64("seed", 1, "base random seed")
+	jsonPath := flag.String("json", "", "write benchmark rows as JSON Lines to this file ('-' = stdout)")
 	flag.Parse()
 
 	cfg := experiments.Config{Out: os.Stdout, Full: *full, Seed: *seed}
+	var jsonEnc *json.Encoder
+	if *jsonPath != "" {
+		var w io.Writer = os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cvbench:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		jsonEnc = json.NewEncoder(w)
+		cfg.Record = func(row experiments.BenchRow) {
+			if err := jsonEnc.Encode(row); err != nil {
+				fmt.Fprintln(os.Stderr, "cvbench: writing json:", err)
+				os.Exit(2)
+			}
+		}
+	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(name)] = true
@@ -61,7 +86,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cvbench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if cfg.Record != nil {
+			cfg.Record(experiments.BenchRow{
+				Experiment: e.name, Name: "elapsed", NsPerOp: elapsed.Nanoseconds(),
+			})
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.name, elapsed.Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "cvbench: no experiment matches %q\n", *exp)

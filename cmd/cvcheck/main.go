@@ -55,7 +55,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	method, err := parseOrder(*orderFlag)
+	method, err := core.ParseOrderingMethod(*orderFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,12 +69,7 @@ func main() {
 
 	cat := relation.NewCatalog()
 	for _, tf := range tables {
-		f, err := os.Open(tf.path)
-		if err != nil {
-			fatal(err)
-		}
-		t, err := cat.ReadCSV(tf.name, f, shared)
-		f.Close()
+		t, err := cat.ReadCSVFile(tf.name, tf.path, shared)
 		if err != nil {
 			fatal(err)
 		}
@@ -141,21 +136,6 @@ func printWitnesses(chk *core.Checker, ct logic.Constraint, limit int) {
 	}
 	for i := 0; i < rows.Len() && i < limit; i++ {
 		fmt.Printf("  witness: %v = %v\n", rows.Vars, rows.Decode(i))
-	}
-}
-
-func parseOrder(s string) (core.OrderingMethod, error) {
-	switch s {
-	case "prob":
-		return core.OrderProbConverge, nil
-	case "maxinf":
-		return core.OrderMaxInfGain, nil
-	case "random":
-		return core.OrderRandom, nil
-	case "schema":
-		return core.OrderSchema, nil
-	default:
-		return 0, fmt.Errorf("unknown ordering %q (want prob|maxinf|random|schema)", s)
 	}
 }
 

@@ -1,0 +1,148 @@
+// Command cvserved runs the constraint-checking system as a long-lived
+// HTTP/JSON daemon. It bootstraps tables from CSV files, builds the logical
+// indices once, registers a set of named constraints, and then serves
+// checks, violation-witness queries and incremental updates over HTTP,
+// serializing all BDD work through internal/service's single kernel worker.
+//
+// Usage:
+//
+//	cvserved -addr :8080 \
+//	         -table CUST=cust.csv -table CONS=cons.csv \
+//	         -share city,areacode \
+//	         -constraints rules.txt [-order prob] [-budget 1000000] \
+//	         [-queue 64] [-timeout 30s] [-nodes-per-sec 0]
+//
+// Endpoints:
+//
+//	POST /check      {"constraints": ["nj_codes"], "text": "...", "timeout_ms": 500, "node_budget": 0}
+//	POST /witnesses  {"constraint": "nj_codes", "limit": 10}
+//	POST /update     {"updates": [{"table": "CUST", "op": "insert", "values": ["Toronto","416","Ontario"]}]}
+//	GET  /healthz
+//	GET  /statsz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/service"
+)
+
+type tableFlag struct {
+	name, path string
+}
+
+func main() {
+	var tables []tableFlag
+	flag.Func("table", "NAME=path.csv (repeatable)", func(s string) error {
+		name, path, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want NAME=path.csv, got %q", s)
+		}
+		tables = append(tables, tableFlag{name, path})
+		return nil
+	})
+	addr := flag.String("addr", ":8080", "listen address")
+	share := flag.String("share", "", "comma-separated column names shared across tables")
+	constraintsPath := flag.String("constraints", "", "constraints file (required)")
+	orderFlag := flag.String("order", "prob", "variable ordering: prob|maxinf|random|schema")
+	budget := flag.Int("budget", core.DefaultNodeBudget, "BDD node budget (negative = unlimited)")
+	queue := flag.Int("queue", 0, "admission queue depth per request kind (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "max update tuples coalesced per index-maintenance batch (0 = default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	nodesPerSec := flag.Int("nodes-per-sec", 0, "map request deadlines to BDD node budgets at this rate (0 = off)")
+	flag.Parse()
+
+	if len(tables) == 0 || *constraintsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	method, err := core.ParseOrderingMethod(*orderFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	shared := map[string]string{}
+	if *share != "" {
+		for _, col := range strings.Split(*share, ",") {
+			shared[strings.TrimSpace(col)] = strings.TrimSpace(col)
+		}
+	}
+
+	cat := relation.NewCatalog()
+	for _, tf := range tables {
+		t, err := cat.ReadCSVFile(tf.name, tf.path, shared)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("loaded %s: %d rows, %d columns", t.Name(), t.Len(), t.NumCols())
+	}
+
+	src, err := os.ReadFile(*constraintsPath)
+	if err != nil {
+		fatal(err)
+	}
+	constraints, err := logic.ParseConstraints(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	chk := core.New(cat, core.Options{NodeBudget: *budget})
+	for _, tf := range tables {
+		ix, err := chk.BuildIndex(tf.name, tf.name, nil, method)
+		if err != nil {
+			log.Printf("index %s: %v (constraints on it fall back to SQL)", tf.name, err)
+			continue
+		}
+		log.Printf("index %s: %d nodes", tf.name, ix.NodeCount())
+	}
+
+	srv, err := service.New(chk, constraints, service.Options{
+		QueueDepth:     *queue,
+		MaxBatch:       *maxBatch,
+		DefaultTimeout: *timeout,
+		NodesPerSecond: *nodesPerSec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range srv.Constraints() {
+		log.Printf("constraint %s registered", name)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			httpSrv.Close()
+		}
+	}()
+
+	log.Printf("cvserved listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cvserved:", err)
+	os.Exit(2)
+}

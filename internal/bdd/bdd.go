@@ -110,6 +110,7 @@ type Kernel struct {
 	gcCount      int
 	appliedCount uint64
 	cacheHits    uint64
+	peak         int // largest live ever observed
 }
 
 type applyEntry struct {
@@ -190,6 +191,7 @@ func New(cfg Config) *Kernel {
 	k.nodes[False].refs = 1 // terminals are permanently pinned
 	k.nodes[True].refs = 1
 	k.live = 2
+	k.peak = 2
 	k.buckets = make([]int32, minBuckets)
 	for i := range k.buckets {
 		k.buckets[i] = -1
@@ -405,6 +407,9 @@ func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
 	k.nodes[idx] = node{level: level, low: low, high: high, next: k.buckets[h]}
 	k.buckets[h] = idx
 	k.live++
+	if k.live > k.peak {
+		k.peak = k.live
+	}
 	if k.live > len(k.buckets)*3/4 {
 		k.growBuckets()
 	}

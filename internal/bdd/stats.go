@@ -1,0 +1,66 @@
+package bdd
+
+// stats.go exposes the kernel's counters as an immutable snapshot, and the
+// node budget as a runtime-adjustable limit. Both exist for long-lived
+// deployments (cmd/cvserved): a service maps per-request deadlines onto
+// temporary budgets, and reports kernel health from snapshots taken at job
+// boundaries.
+
+// Stats is a point-in-time copy of the kernel's counters. The value is plain
+// data: once taken it can be handed to any goroutine (a server publishes the
+// latest snapshot through an atomic pointer for its stats endpoint). Taking
+// the snapshot, like every other Kernel method, must be serialized with
+// kernel mutations.
+type Stats struct {
+	// Live is the number of live nodes, including the two terminals.
+	Live int
+	// Peak is the largest Live ever observed (garbage collection lowers
+	// Live, never Peak).
+	Peak int
+	// Capacity is the number of allocated node-table slots.
+	Capacity int
+	// Vars is the number of boolean variables.
+	Vars int
+	// Budget is the current node budget; 0 means unlimited.
+	Budget int
+	// GCRuns counts completed garbage collections.
+	GCRuns int
+	// Ops counts recursive apply steps, a proxy for work performed.
+	Ops uint64
+	// CacheHits counts operation-cache hits.
+	CacheHits uint64
+	// CacheEntries is the current per-operation cache size in entries.
+	CacheEntries int
+}
+
+// Stats takes a snapshot of the kernel's counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		Live:         k.live,
+		Peak:         k.peak,
+		Capacity:     len(k.nodes),
+		Vars:         k.numVars,
+		Budget:       k.budget,
+		GCRuns:       k.gcCount,
+		Ops:          k.appliedCount,
+		CacheHits:    k.cacheHits,
+		CacheEntries: len(k.applyCache),
+	}
+}
+
+// Budget returns the current node budget; 0 means unlimited.
+func (k *Kernel) Budget() int { return k.budget }
+
+// SetBudget replaces the node budget (0 or negative means unlimited) and
+// recomputes the GC trigger. Lowering the budget below the current live
+// count makes the next allocating operation abort with ErrBudget — which
+// callers treat as the usual fall-back-to-SQL signal — while operations that
+// only touch existing nodes still succeed. A service lowers the budget
+// before evaluating a deadline-bounded request and restores it afterwards.
+func (k *Kernel) SetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	k.budget = n
+	k.resetGCTrigger()
+}

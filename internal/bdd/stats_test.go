@@ -1,0 +1,76 @@
+package bdd_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+func TestStatsSnapshot(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 8})
+	s0 := k.Stats()
+	if s0.Live != 2 || s0.Peak != 2 {
+		t.Fatalf("fresh kernel: Live=%d Peak=%d, want 2/2", s0.Live, s0.Peak)
+	}
+	if s0.Vars != 8 || s0.Budget != 0 {
+		t.Fatalf("fresh kernel: Vars=%d Budget=%d, want 8/0", s0.Vars, s0.Budget)
+	}
+	f := bdd.True
+	for i := 0; i < 8; i++ {
+		k.TempKeep(f)
+		f = k.And(f, k.Var(i))
+	}
+	s1 := k.Stats()
+	if s1.Live <= s0.Live || s1.Peak < s1.Live || s1.Ops == 0 {
+		t.Fatalf("after work: %+v (want growth and op counts)", s1)
+	}
+	// GC drops unreferenced nodes but never lowers the peak.
+	k.TempRelease(0)
+	k.GC()
+	s2 := k.Stats()
+	if s2.GCRuns != s1.GCRuns+1 {
+		t.Fatalf("GCRuns=%d, want %d", s2.GCRuns, s1.GCRuns+1)
+	}
+	if s2.Peak < s1.Peak {
+		t.Fatalf("Peak shrank across GC: %d -> %d", s1.Peak, s2.Peak)
+	}
+	if s2.Live >= s1.Live {
+		t.Fatalf("GC did not reclaim: Live %d -> %d", s1.Live, s2.Live)
+	}
+}
+
+func TestSetBudgetAbortsAndRestores(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 16})
+	a := k.Protect(k.And(k.Var(0), k.Var(1)))
+	if k.Budget() != 0 {
+		t.Fatalf("Budget() = %d, want 0", k.Budget())
+	}
+	// A budget below the live count must abort the next allocation.
+	k.SetBudget(1)
+	if k.Budget() != 1 {
+		t.Fatalf("Budget() = %d, want 1", k.Budget())
+	}
+	if f := k.And(k.Var(2), k.Var(3)); f != bdd.Invalid {
+		t.Fatalf("allocation under tiny budget returned %v, want Invalid", f)
+	}
+	if !errors.Is(k.Err(), bdd.ErrBudget) {
+		t.Fatalf("Err() = %v, want ErrBudget", k.Err())
+	}
+	k.ClearErr()
+	// Restoring the budget makes the kernel usable again, and previously
+	// built nodes survived the aborted operation.
+	k.SetBudget(0)
+	f := k.And(k.Var(2), k.Var(3))
+	if f == bdd.Invalid || k.Err() != nil {
+		t.Fatalf("after restore: f=%v err=%v", f, k.Err())
+	}
+	if g := k.And(k.Var(0), k.Var(1)); g != a {
+		t.Fatalf("pinned node lost across budget abort: %v != %v", g, a)
+	}
+	// Negative means unlimited, like Config.
+	k.SetBudget(-5)
+	if k.Budget() != 0 {
+		t.Fatalf("Budget() after SetBudget(-5) = %d, want 0", k.Budget())
+	}
+}

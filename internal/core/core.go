@@ -69,6 +69,23 @@ func (m OrderingMethod) String() string {
 	}
 }
 
+// ParseOrderingMethod maps the CLI spelling of an ordering method ("prob",
+// "maxinf", "random", "schema") to the OrderingMethod constant.
+func ParseOrderingMethod(s string) (OrderingMethod, error) {
+	switch s {
+	case "prob":
+		return OrderProbConverge, nil
+	case "maxinf":
+		return OrderMaxInfGain, nil
+	case "random":
+		return OrderRandom, nil
+	case "schema":
+		return OrderSchema, nil
+	default:
+		return 0, fmt.Errorf("core: unknown ordering %q (want prob|maxinf|random|schema)", s)
+	}
+}
+
 // Options configures a Checker.
 type Options struct {
 	// NodeBudget bounds the shared BDD node table; DefaultNodeBudget when
@@ -141,6 +158,10 @@ type Stats struct {
 
 // Stats returns the checker's decision counters.
 func (c *Checker) Stats() Stats { return c.stats }
+
+// KernelStats snapshots the shared BDD kernel's counters (node counts, GC
+// runs, cache hits), for monitoring endpoints.
+func (c *Checker) KernelStats() bdd.Stats { return c.store.Kernel().Stats() }
 
 // New creates a Checker over the catalog.
 func New(catalog *relation.Catalog, opts Options) *Checker {
@@ -336,6 +357,40 @@ func (c *Checker) CheckOne(ct logic.Constraint) Result {
 	return res
 }
 
+// CheckOptions tunes a single validation call.
+type CheckOptions struct {
+	// NodeBudget, when positive, caps the kernel node budget for the
+	// duration of this call. It never raises the budget above the
+	// checker-wide limit; a cap below the nodes already live makes BDD
+	// evaluation abort immediately and the call degrade to the SQL fallback.
+	// A long-lived service maps per-request deadlines onto this cap.
+	NodeBudget int
+}
+
+// CheckOneOpts validates a single constraint like CheckOne, under the
+// per-call options.
+func (c *Checker) CheckOneOpts(ct logic.Constraint, opts CheckOptions) (res Result) {
+	c.withBudget(opts.NodeBudget, func() { res = c.CheckOne(ct) })
+	return res
+}
+
+// withBudget runs f with the kernel budget temporarily capped at budget
+// (when positive), restoring the previous budget afterwards.
+func (c *Checker) withBudget(budget int, f func()) {
+	if budget <= 0 {
+		f()
+		return
+	}
+	k := c.store.Kernel()
+	prev := k.Budget()
+	if prev > 0 && prev < budget {
+		budget = prev
+	}
+	k.SetBudget(budget)
+	defer k.SetBudget(prev)
+	f()
+}
+
 // tryFDFastPath checks a functional-dependency constraint by projection and
 // model counting on the index BDD: project the index onto determinant +
 // dependent columns, count the distinct projected tuples, project the
@@ -504,6 +559,13 @@ func (c *Checker) ViolationWitnesses(ct logic.Constraint, limit int) ([]Witness,
 	return witnesses, nil
 }
 
+// ViolationWitnessesOpts extracts witnesses like ViolationWitnesses, under
+// the per-call options.
+func (c *Checker) ViolationWitnessesOpts(ct logic.Constraint, limit int, opts CheckOptions) (ws []Witness, err error) {
+	c.withBudget(opts.NodeBudget, func() { ws, err = c.ViolationWitnesses(ct, limit) })
+	return ws, err
+}
+
 // ViolatingRows runs the compiled SQL violation query and returns the
 // violating bindings — the precise-tuple identification step the paper
 // performs with SQL after a constraint is known to be violated.
@@ -525,11 +587,55 @@ func (c *Checker) SQLOf(ct logic.Constraint) (string, error) {
 	return q.SQL(), nil
 }
 
+// UpdateOp names a tuple-level mutation kind.
+type UpdateOp string
+
+// Update operations.
+const (
+	UpdateInsert UpdateOp = "insert"
+	UpdateDelete UpdateOp = "delete"
+)
+
+// Update is one tuple-level mutation, for batched application.
+type Update struct {
+	// Table names the target table.
+	Table string
+	// Op is the mutation kind.
+	Op UpdateOp
+	// Values are the tuple's attribute values in schema order.
+	Values []string
+}
+
+// Apply applies a batch of updates through the incremental index maintenance
+// path, in order, stopping at the first error. It returns how many updates
+// were applied; on error the earlier updates of the batch remain applied
+// (tuple updates are independent, there is no transactional rollback).
+func (c *Checker) Apply(ups []Update) (int, error) {
+	for i, u := range ups {
+		var err error
+		switch u.Op {
+		case UpdateInsert:
+			err = c.InsertTuple(u.Table, u.Values...)
+		case UpdateDelete:
+			err = c.DeleteTuple(u.Table, u.Values...)
+		default:
+			err = fmt.Errorf("core: unknown update op %q", u.Op)
+		}
+		if err != nil {
+			return i, fmt.Errorf("core: update %d: %w", i, err)
+		}
+	}
+	return len(ups), nil
+}
+
 // InsertTuple inserts into the table and updates every index over it.
 func (c *Checker) InsertTuple(table string, vals ...string) error {
 	t := c.catalog.Table(table)
 	if t == nil {
 		return fmt.Errorf("core: unknown table %q", table)
+	}
+	if len(vals) != t.NumCols() {
+		return fmt.Errorf("core: insert into %q with %d values, want %d", table, len(vals), t.NumCols())
 	}
 	row := t.Insert(vals...)
 	return c.updateIndices(t, func(ix *index.Index) error { return ix.Insert(row) })
@@ -542,6 +648,9 @@ func (c *Checker) DeleteTuple(table string, vals ...string) error {
 	t := c.catalog.Table(table)
 	if t == nil {
 		return fmt.Errorf("core: unknown table %q", table)
+	}
+	if len(vals) != t.NumCols() {
+		return fmt.Errorf("core: delete from %q with %d values, want %d", table, len(vals), t.NumCols())
 	}
 	row := make([]int32, len(vals))
 	for i, v := range vals {

@@ -23,6 +23,18 @@ import (
 	"repro/internal/stats"
 )
 
+// BenchRow is one machine-readable measurement emitted alongside the text
+// report (cvbench -json). Name identifies the measurement within its
+// experiment; Params carries the workload coordinates (tuple count, budget,
+// query, approach); Nodes is zero when the measurement has no BDD size.
+type BenchRow struct {
+	Experiment string         `json:"experiment"`
+	Name       string         `json:"name"`
+	Params     map[string]any `json:"params,omitempty"`
+	NsPerOp    int64          `json:"ns_per_op"`
+	Nodes      int            `json:"nodes,omitempty"`
+}
+
 // Config controls workload sizes and output.
 type Config struct {
 	// Out receives the report (defaults to io.Discard if nil).
@@ -32,6 +44,15 @@ type Config struct {
 	Full bool
 	// Seed is the base random seed.
 	Seed int64
+	// Record, when non-nil, receives a BenchRow for every timed measurement
+	// of the instrumented experiments (fig4, table1, threshold).
+	Record func(BenchRow)
+}
+
+func (c Config) record(row BenchRow) {
+	if c.Record != nil {
+		c.Record(row)
+	}
 }
 
 func (c Config) out() io.Writer {
@@ -327,6 +348,16 @@ func Fig4(cfg Config) error {
 				}
 			}
 			update[i] = time.Since(start) / (2 * updates)
+			cfg.record(BenchRow{
+				Experiment: "fig4", Name: "build",
+				Params:  map[string]any{"index": spec.name, "tuples": n},
+				NsPerOp: build[i].Nanoseconds(), Nodes: nodes[i],
+			})
+			cfg.record(BenchRow{
+				Experiment: "fig4", Name: "update",
+				Params:  map[string]any{"index": spec.name, "tuples": n},
+				NsPerOp: update[i].Nanoseconds(), Nodes: nodes[i],
+			})
 		}
 		fmt.Fprintf(w, "%-9d | %12v %12v | %12v %12v | %10d %10d\n",
 			n, build[0].Round(time.Millisecond), build[1].Round(time.Millisecond),

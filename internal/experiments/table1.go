@@ -103,6 +103,18 @@ func Table1(cfg Config) error {
 	row("SQL", sqlTimes)
 	row("BDD: random", randTimes)
 	row("BDD: optimized", optTimes)
+	for i, n := range names {
+		for _, m := range []struct {
+			approach string
+			times    []time.Duration
+		}{{"sql", sqlTimes}, {"bdd-random", randTimes}, {"bdd-optimized", optTimes}} {
+			cfg.record(BenchRow{
+				Experiment: "table1", Name: "check",
+				Params:  map[string]any{"query": n, "approach": m.approach, "tuples": spec.MainTuples},
+				NsPerOp: m.times[i].Nanoseconds(),
+			})
+		}
+	}
 	fmt.Fprintf(w, "%-16s", "opt gain vs SQL")
 	for i := range names {
 		fmt.Fprintf(w, " %11.1fx", float64(sqlTimes[i])/float64(optTimes[i]))

@@ -11,6 +11,7 @@ package index
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bdd"
 	"repro/internal/fdd"
@@ -53,6 +54,16 @@ func (s *Store) Space() *fdd.Space { return s.space }
 
 // Index returns the index named name, or nil.
 func (s *Store) Index(name string) *Index { return s.indices[name] }
+
+// Names lists the store's index names in sorted order, for stats reporting.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.indices))
+	for name := range s.indices {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Index is the BDD representation of the projection of a table onto a set
 // of indexed columns, i.e. the characteristic function of that projection.

@@ -13,6 +13,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 )
 
@@ -348,4 +349,15 @@ func (c *Catalog) ReadCSV(name string, r io.Reader, domains map[string]string) (
 		t.Insert(rec...)
 	}
 	return t, nil
+}
+
+// ReadCSVFile creates a table named name from the CSV file at path, like
+// ReadCSV — the bootstrap path of the CLIs and the cvserved daemon.
+func (c *Catalog) ReadCSVFile(name, path string, domains map[string]string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: %w", err)
+	}
+	defer f.Close()
+	return c.ReadCSV(name, f, domains)
 }

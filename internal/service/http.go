@@ -1,0 +1,383 @@
+package service
+
+// http.go is the JSON wire surface of the daemon: POST /check, POST
+// /witnesses, POST /update for tuple batches, GET /healthz, and GET /statsz
+// with live checker/kernel/queue counters. Handlers run on the HTTP
+// server's goroutines; they only decode, submit to the admission queues and
+// encode — all kernel work happens in the worker.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// CheckRequest asks for constraint validation. With neither Constraints nor
+// Text, every registered constraint is checked.
+type CheckRequest struct {
+	// Constraints names registered constraints to check.
+	Constraints []string `json:"constraints,omitempty"`
+	// Text holds ad-hoc constraint declarations in the rules language.
+	Text string `json:"text,omitempty"`
+	// TimeoutMS overrides the server's default request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NodeBudget caps the BDD node budget for this request; blowing it
+	// degrades the check to the SQL fallback.
+	NodeBudget int `json:"node_budget,omitempty"`
+}
+
+// CheckResult reports one constraint's validation.
+type CheckResult struct {
+	Name           string `json:"name"`
+	Violated       bool   `json:"violated"`
+	Method         string `json:"method,omitempty"`
+	FellBack       bool   `json:"fell_back,omitempty"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	DurationNS     int64  `json:"duration_ns"`
+	Error          string `json:"error,omitempty"`
+}
+
+// CheckResponse is the /check reply.
+type CheckResponse struct {
+	Results []CheckResult `json:"results"`
+}
+
+// WitnessRequest asks for violating bindings of one constraint.
+type WitnessRequest struct {
+	// Constraint names a registered constraint; alternatively Text holds
+	// one ad-hoc declaration.
+	Constraint string `json:"constraint,omitempty"`
+	Text       string `json:"text,omitempty"`
+	// Limit bounds the number of witnesses; 10 when zero.
+	Limit      int `json:"limit,omitempty"`
+	TimeoutMS  int `json:"timeout_ms,omitempty"`
+	NodeBudget int `json:"node_budget,omitempty"`
+}
+
+// Witness is one violating binding.
+type Witness struct {
+	Vars   []string `json:"vars"`
+	Values []string `json:"values"`
+}
+
+// WitnessResponse is the /witnesses reply.
+type WitnessResponse struct {
+	Constraint string    `json:"constraint"`
+	Method     string    `json:"method"`
+	Witnesses  []Witness `json:"witnesses"`
+}
+
+// UpdateTuple is one tuple-level mutation.
+type UpdateTuple struct {
+	Table  string   `json:"table"`
+	Op     string   `json:"op"` // "insert" or "delete"
+	Values []string `json:"values"`
+}
+
+// UpdateRequest is a batch of mutations, applied in order through the
+// incremental index maintenance path.
+type UpdateRequest struct {
+	Updates   []UpdateTuple `json:"updates"`
+	TimeoutMS int           `json:"timeout_ms,omitempty"`
+}
+
+// UpdateResponse is the /update reply. On error, Applied says how many
+// leading updates of the batch took effect.
+type UpdateResponse struct {
+	Applied int    `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+// StatszResponse reports live server, checker and kernel counters.
+type StatszResponse struct {
+	UptimeMS    int64        `json:"uptime_ms"`
+	Queue       QueueStats   `json:"queue"`
+	Requests    RequestStats `json:"requests"`
+	Checker     CheckerStats `json:"checker"`
+	Kernel      KernelStats  `json:"kernel"`
+	Indices     []IndexStats `json:"indices"`
+	Tables      []TableStats `json:"tables"`
+	Constraints []string     `json:"constraints"`
+}
+
+// QueueStats reports admission-queue depths against their capacity.
+type QueueStats struct {
+	ChecksDepth  int `json:"checks_depth"`
+	ChecksCap    int `json:"checks_cap"`
+	UpdatesDepth int `json:"updates_depth"`
+	UpdatesCap   int `json:"updates_cap"`
+}
+
+// RequestStats reports request counters since startup.
+type RequestStats struct {
+	Checks          uint64 `json:"checks"`
+	Witnesses       uint64 `json:"witnesses"`
+	UpdateJobs      uint64 `json:"update_jobs"`
+	UpdateTuples    uint64 `json:"update_tuples"`
+	UpdateBatches   uint64 `json:"update_batches"`
+	DeadlineRejects uint64 `json:"deadline_rejects"`
+	QueueRejects    uint64 `json:"queue_rejects"`
+}
+
+// CheckerStats reports how constraints were decided since startup.
+type CheckerStats struct {
+	BDDChecks    int     `json:"bdd_checks"`
+	FDFastPath   int     `json:"fd_fast_path"`
+	SQLFallbacks int     `json:"sql_fallbacks"`
+	Errors       int     `json:"errors"`
+	FallbackRate float64 `json:"fallback_rate"`
+}
+
+// KernelStats reports the shared BDD kernel's counters.
+type KernelStats struct {
+	LiveNodes    int    `json:"live_nodes"`
+	PeakNodes    int    `json:"peak_nodes"`
+	Capacity     int    `json:"capacity"`
+	Vars         int    `json:"vars"`
+	Budget       int    `json:"budget"`
+	GCRuns       int    `json:"gc_runs"`
+	Ops          uint64 `json:"ops"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /check", s.handleCheck)
+	mux.HandleFunc("POST /witnesses", s.handleWitnesses)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// requestContext derives the job context: the client's context bounded by
+// the requested (or default) timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	s.nChecks.Add(1)
+	var req CheckRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	cts, err := s.resolve(req.Constraints, req.Text)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := CheckResponse{Results: make([]CheckResult, len(rep.results))}
+	for i, res := range rep.results {
+		resp.Results[i] = toWireResult(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toWireResult(res core.Result) CheckResult {
+	out := CheckResult{
+		Name:       res.Constraint.Name,
+		Violated:   res.Violated,
+		Method:     string(res.Method),
+		FellBack:   res.FellBack,
+		DurationNS: res.Duration.Nanoseconds(),
+	}
+	if res.FallbackReason != nil {
+		out.FallbackReason = res.FallbackReason.Error()
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		out.Method = ""
+	}
+	return out
+}
+
+func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
+	s.nWitnesses.Add(1)
+	var req WitnessRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var names []string
+	if req.Constraint != "" {
+		names = []string{req.Constraint}
+	}
+	if req.Constraint == "" && req.Text == "" {
+		httpError(w, errBadRequest("one of \"constraint\" or \"text\" is required"))
+		return
+	}
+	cts, err := s.resolve(names, req.Text)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if len(cts) != 1 {
+		httpError(w, errBadRequest("witness extraction takes exactly one constraint"))
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, limit)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	resp := WitnessResponse{
+		Constraint: cts[0].Name,
+		Method:     string(rep.witnessMethod),
+		Witnesses:  make([]Witness, len(rep.witnesses)),
+	}
+	for i, ws := range rep.witnesses {
+		resp.Witnesses[i] = Witness{Vars: ws.Vars, Values: ws.Values}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.nUpdateJobs.Add(1)
+	var req UpdateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, errBadRequest("empty update batch"))
+		return
+	}
+	ups := make([]core.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = core.Update{Table: u.Table, Op: core.UpdateOp(u.Op), Values: u.Values}
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	applied, err := s.submitUpdate(ctx, ups)
+	if err != nil {
+		status := statusFor(err)
+		writeJSON(w, status, UpdateResponse{Applied: applied, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{Applied: applied})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	cs := snap.checker
+	decided := cs.BDDChecks + cs.FDFastPath + cs.SQLFallbacks
+	rate := 0.0
+	if decided > 0 {
+		rate = float64(cs.SQLFallbacks) / float64(decided)
+	}
+	resp := StatszResponse{
+		UptimeMS: time.Since(s.started).Milliseconds(),
+		Queue: QueueStats{
+			ChecksDepth:  len(s.checks),
+			ChecksCap:    cap(s.checks),
+			UpdatesDepth: len(s.updates),
+			UpdatesCap:   cap(s.updates),
+		},
+		Requests: RequestStats{
+			Checks:          s.nChecks.Load(),
+			Witnesses:       s.nWitnesses.Load(),
+			UpdateJobs:      s.nUpdateJobs.Load(),
+			UpdateTuples:    s.nUpdateTuples.Load(),
+			UpdateBatches:   s.nBatches.Load(),
+			DeadlineRejects: s.nDeadlineRejects.Load(),
+			QueueRejects:    s.nQueueRejects.Load(),
+		},
+		Checker: CheckerStats{
+			BDDChecks:    cs.BDDChecks,
+			FDFastPath:   cs.FDFastPath,
+			SQLFallbacks: cs.SQLFallbacks,
+			Errors:       cs.Errors,
+			FallbackRate: rate,
+		},
+		Kernel: KernelStats{
+			LiveNodes:    snap.kernel.Live,
+			PeakNodes:    snap.kernel.Peak,
+			Capacity:     snap.kernel.Capacity,
+			Vars:         snap.kernel.Vars,
+			Budget:       snap.kernel.Budget,
+			GCRuns:       snap.kernel.GCRuns,
+			Ops:          snap.kernel.Ops,
+			CacheHits:    snap.kernel.CacheHits,
+			CacheEntries: snap.kernel.CacheEntries,
+		},
+		Indices:     snap.indices,
+		Tables:      snap.tables,
+		Constraints: s.Constraints(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// plumbing
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, errBadRequest("bad request body: "+err.Error()))
+		return false
+	}
+	return true
+}
+
+type badRequestError string
+
+func errBadRequest(msg string) error    { return badRequestError(msg) }
+func (e badRequestError) Error() string { return string(e) }
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

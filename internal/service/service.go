@@ -1,0 +1,448 @@
+// Package service runs the constraint checker as a long-lived server: one
+// core.Checker with pre-built logical indices serves many concurrent
+// clients, amortizing the index construction cost the one-shot CLIs pay on
+// every invocation (the whole point of the paper's logical indices, §2.3).
+//
+// Concurrency model: any number of goroutines accept and decode requests,
+// but the BDD kernel is not safe for concurrent use, so all constraint
+// evaluation and index maintenance is dispatched through bounded admission
+// queues to a single worker goroutine that owns the checker. Backpressure is
+// the queue bound: when a queue is full, submitters wait until their
+// deadline and are rejected. Update jobs are coalesced — every queued batch
+// is applied through the incremental index maintenance path before the next
+// check runs — so checks always observe a consistent database and an
+// acknowledged update is visible to every subsequently submitted check.
+//
+// Per-request deadlines map onto node budgets (Options.NodesPerSecond): a
+// request with little time left gets a small budget, and a check that blows
+// it degrades gracefully to the SQL fallback exactly as core.CheckOne does.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// Service errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrShuttingDown is returned for work submitted after Close.
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrBusy is returned when a request's deadline expires while it waits
+	// for admission-queue space — the backpressure signal.
+	ErrBusy = errors.New("service: admission queue full")
+	// ErrUnknownConstraint is returned for names missing from the registry.
+	ErrUnknownConstraint = errors.New("service: unknown constraint")
+)
+
+// Options configures a Server.
+type Options struct {
+	// QueueDepth bounds each admission queue (checks and updates
+	// separately); 64 when zero.
+	QueueDepth int
+	// MaxBatch bounds how many queued update jobs one coalescing round
+	// applies before re-checking for other work; 256 when zero.
+	MaxBatch int
+	// DefaultTimeout applies to requests that carry no deadline of their
+	// own; 30s when zero.
+	DefaultTimeout time.Duration
+	// NodesPerSecond converts a request's remaining deadline into a node
+	// budget for its BDD evaluation. Zero disables the mapping; requests
+	// then run under the checker-wide budget (or their explicit per-request
+	// budget).
+	NodesPerSecond int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server owns a checker and serializes all kernel work through one worker.
+type Server struct {
+	chk      *core.Checker
+	registry map[string]logic.Constraint
+	names    []string // registry order
+	opts     Options
+	started  time.Time
+
+	checks  chan *checkJob
+	updates chan *updateJob
+	quit    chan struct{}
+	done    chan struct{}
+	closing sync.Once
+
+	snap atomic.Pointer[snapshot]
+
+	// Request counters, incremented from handler goroutines.
+	nChecks          atomic.Uint64
+	nWitnesses       atomic.Uint64
+	nUpdateJobs      atomic.Uint64
+	nUpdateTuples    atomic.Uint64
+	nBatches         atomic.Uint64
+	nDeadlineRejects atomic.Uint64
+	nQueueRejects    atomic.Uint64
+}
+
+// snapshot is the worker-published view of checker and kernel state, read
+// lock-free by /statsz. Indices are recounted only when updates run (node
+// counting walks the index BDDs).
+type snapshot struct {
+	kernel  kernelView
+	checker core.Stats
+	indices []IndexStats
+	tables  []TableStats
+}
+
+type kernelView struct {
+	Live, Peak, Capacity, Vars, Budget, GCRuns int
+	Ops, CacheHits                             uint64
+	CacheEntries                               int
+}
+
+// IndexStats describes one logical index for /statsz.
+type IndexStats struct {
+	Name  string `json:"name"`
+	Table string `json:"table"`
+	Cols  int    `json:"cols"`
+	Nodes int    `json:"nodes"`
+}
+
+// TableStats describes one base table for /statsz.
+type TableStats struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+// New creates a Server over a checker whose indices are already built, with
+// the given constraint registry, and starts its worker. The caller must not
+// touch the checker (or its catalog, store or kernel) afterwards: the worker
+// owns them. Close shuts the worker down.
+func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Server, error) {
+	s := &Server{
+		chk:      chk,
+		registry: make(map[string]logic.Constraint, len(constraints)),
+		opts:     opts.withDefaults(),
+		started:  time.Now(),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, ct := range constraints {
+		if _, dup := s.registry[ct.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate constraint %q", ct.Name)
+		}
+		s.registry[ct.Name] = ct
+		s.names = append(s.names, ct.Name)
+	}
+	s.checks = make(chan *checkJob, s.opts.QueueDepth)
+	s.updates = make(chan *updateJob, s.opts.QueueDepth)
+	s.publish(true) // safe: the worker has not started yet
+	go s.run()
+	return s, nil
+}
+
+// Close stops the worker, refusing queued and future work. It is idempotent
+// and safe from any goroutine.
+func (s *Server) Close() {
+	s.closing.Do(func() { close(s.quit) })
+	<-s.done
+}
+
+// Constraints lists the registered constraint names in registry order.
+func (s *Server) Constraints() []string { return append([]string(nil), s.names...) }
+
+// jobs
+
+type checkJob struct {
+	ctx context.Context
+	cts []logic.Constraint
+	// budget is the explicit per-request node cap (0 = none).
+	budget int
+	// witnessLimit, when positive, turns the job into witness extraction
+	// for cts[0].
+	witnessLimit int
+	reply        chan checkReply
+}
+
+type checkReply struct {
+	results       []core.Result
+	witnesses     []core.Witness
+	witnessMethod core.Method
+	err           error
+}
+
+type updateJob struct {
+	ctx   context.Context
+	ups   []core.Update
+	reply chan updateReply
+}
+
+type updateReply struct {
+	applied int
+	err     error
+}
+
+// run is the worker loop. It alternates between applying every queued
+// update batch and serving one check, so updates coalesce between checks.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		// Coalesce: everything queued for update applies before the next
+		// check is taken.
+		select {
+		case u := <-s.updates:
+			s.applyBatch(s.gatherUpdates(u))
+			continue
+		default:
+		}
+		select {
+		case <-s.quit:
+			s.refuseQueued()
+			return
+		case u := <-s.updates:
+			s.applyBatch(s.gatherUpdates(u))
+		case c := <-s.checks:
+			s.runCheck(c)
+		}
+	}
+}
+
+// gatherUpdates drains further queued update jobs behind first, bounded by
+// MaxBatch.
+func (s *Server) gatherUpdates(first *updateJob) []*updateJob {
+	batch := []*updateJob{first}
+	for len(batch) < s.opts.MaxBatch {
+		select {
+		case u := <-s.updates:
+			batch = append(batch, u)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// applyBatch applies each job of one coalesced round and acknowledges it.
+// Jobs are independent: one failing job does not hold back the others.
+func (s *Server) applyBatch(batch []*updateJob) {
+	s.nBatches.Add(1)
+	for _, u := range batch {
+		if err := u.ctx.Err(); err != nil {
+			s.nDeadlineRejects.Add(1)
+			u.reply <- updateReply{err: err}
+			continue
+		}
+		applied, err := s.chk.Apply(u.ups)
+		s.nUpdateTuples.Add(uint64(applied))
+		u.reply <- updateReply{applied: applied, err: err}
+	}
+	s.publish(true)
+}
+
+// runCheck serves one check or witness job under its deadline-derived
+// budget.
+func (s *Server) runCheck(j *checkJob) {
+	defer s.publish(false)
+	if err := j.ctx.Err(); err != nil {
+		s.nDeadlineRejects.Add(1)
+		j.reply <- checkReply{err: err}
+		return
+	}
+	opts := core.CheckOptions{NodeBudget: s.budgetFor(j)}
+	if j.witnessLimit > 0 {
+		j.reply <- s.runWitnesses(j.cts[0], j.witnessLimit, opts)
+		return
+	}
+	results := make([]core.Result, 0, len(j.cts))
+	for _, ct := range j.cts {
+		if err := j.ctx.Err(); err != nil {
+			// The deadline blew mid-request; the remaining constraints
+			// report the context error instead of burning more kernel time.
+			results = append(results, core.Result{Constraint: ct, Err: err})
+			continue
+		}
+		results = append(results, s.chk.CheckOneOpts(ct, opts))
+	}
+	j.reply <- checkReply{results: results}
+}
+
+// runWitnesses extracts violating bindings from the BDD evaluation, falling
+// back to the compiled SQL violation query when the BDD path yields nothing
+// (missing index, budget, or an existence-mode constraint) — the same
+// two-step drill-down cvcheck performs.
+func (s *Server) runWitnesses(ct logic.Constraint, limit int, opts core.CheckOptions) checkReply {
+	ws, err := s.chk.ViolationWitnessesOpts(ct, limit, opts)
+	if err == nil && len(ws) > 0 {
+		return checkReply{witnesses: ws, witnessMethod: core.MethodBDD}
+	}
+	rows, rerr := s.chk.ViolatingRows(ct)
+	if rerr != nil {
+		if err != nil {
+			return checkReply{err: err}
+		}
+		return checkReply{err: rerr}
+	}
+	for i := 0; i < rows.Len() && i < limit; i++ {
+		ws = append(ws, core.Witness{Vars: rows.Vars, Values: rows.Decode(i)})
+	}
+	return checkReply{witnesses: ws, witnessMethod: core.MethodSQL}
+}
+
+// budgetFor combines the request's explicit node cap with the cap derived
+// from its remaining deadline.
+func (s *Server) budgetFor(j *checkJob) int {
+	b := j.budget
+	if s.opts.NodesPerSecond > 0 {
+		if dl, ok := j.ctx.Deadline(); ok {
+			d := int(time.Until(dl).Seconds() * float64(s.opts.NodesPerSecond))
+			if d < 1 {
+				d = 1 // expired deadlines were rejected earlier; keep the cap positive
+			}
+			if b <= 0 || d < b {
+				b = d
+			}
+		}
+	}
+	return b
+}
+
+// refuseQueued acknowledges every queued job with ErrShuttingDown so no
+// submitter is left waiting on a dead worker.
+func (s *Server) refuseQueued() {
+	for {
+		select {
+		case u := <-s.updates:
+			u.reply <- updateReply{err: ErrShuttingDown}
+		case c := <-s.checks:
+			c.reply <- checkReply{err: ErrShuttingDown}
+		default:
+			return
+		}
+	}
+}
+
+// publish refreshes the stats snapshot. Only the worker (or New, before the
+// worker starts) may call it. full recounts index nodes, which walks the
+// index BDDs; check jobs publish light snapshots and reuse the last counts.
+func (s *Server) publish(full bool) {
+	ks := s.chk.KernelStats()
+	snap := &snapshot{
+		kernel: kernelView{
+			Live: ks.Live, Peak: ks.Peak, Capacity: ks.Capacity,
+			Vars: ks.Vars, Budget: ks.Budget, GCRuns: ks.GCRuns,
+			Ops: ks.Ops, CacheHits: ks.CacheHits, CacheEntries: ks.CacheEntries,
+		},
+		checker: s.chk.Stats(),
+	}
+	for _, t := range s.chk.Catalog().Tables() {
+		snap.tables = append(snap.tables, TableStats{Name: t.Name(), Rows: t.Len(), Cols: t.NumCols()})
+	}
+	if prev := s.snap.Load(); !full && prev != nil {
+		snap.indices = prev.indices
+	} else {
+		store := s.chk.Store()
+		for _, name := range store.Names() {
+			ix := store.Index(name)
+			snap.indices = append(snap.indices, IndexStats{
+				Name:  name,
+				Table: ix.Table().Name(),
+				Cols:  len(ix.Columns()),
+				Nodes: ix.NodeCount(),
+			})
+		}
+	}
+	s.snap.Store(snap)
+}
+
+// submission (called from handler goroutines)
+
+// resolve maps a request's constraint names (and optional inline
+// declarations) to constraints; with neither, the whole registry is checked.
+func (s *Server) resolve(names []string, text string) ([]logic.Constraint, error) {
+	var cts []logic.Constraint
+	for _, name := range names {
+		ct, ok := s.registry[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownConstraint, name)
+		}
+		cts = append(cts, ct)
+	}
+	if text != "" {
+		parsed, err := logic.ParseConstraints(text)
+		if err != nil {
+			return nil, err
+		}
+		cts = append(cts, parsed...)
+	}
+	if len(cts) == 0 {
+		for _, name := range s.names {
+			cts = append(cts, s.registry[name])
+		}
+	}
+	return cts, nil
+}
+
+// submitCheck queues a check (or witness) job and waits for its reply.
+func (s *Server) submitCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int) (checkReply, error) {
+	j := &checkJob{
+		ctx:          ctx,
+		cts:          cts,
+		budget:       budget,
+		witnessLimit: witnessLimit,
+		reply:        make(chan checkReply, 1),
+	}
+	select {
+	case s.checks <- j:
+	case <-ctx.Done():
+		s.nQueueRejects.Add(1)
+		return checkReply{}, fmt.Errorf("%w (%v)", ErrBusy, ctx.Err())
+	case <-s.quit:
+		return checkReply{}, ErrShuttingDown
+	}
+	select {
+	case rep := <-j.reply:
+		return rep, rep.err
+	case <-ctx.Done():
+		// The worker may still serve the job; the buffered reply channel
+		// means it will not block on our departure.
+		return checkReply{}, ctx.Err()
+	case <-s.quit:
+		return checkReply{}, ErrShuttingDown
+	}
+}
+
+// submitUpdate queues an update job and waits for its acknowledgement.
+func (s *Server) submitUpdate(ctx context.Context, ups []core.Update) (int, error) {
+	j := &updateJob{ctx: ctx, ups: ups, reply: make(chan updateReply, 1)}
+	select {
+	case s.updates <- j:
+	case <-ctx.Done():
+		s.nQueueRejects.Add(1)
+		return 0, fmt.Errorf("%w (%v)", ErrBusy, ctx.Err())
+	case <-s.quit:
+		return 0, ErrShuttingDown
+	}
+	select {
+	case rep := <-j.reply:
+		return rep.applied, rep.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-s.quit:
+		return 0, ErrShuttingDown
+	}
+}

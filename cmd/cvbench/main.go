@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold]
-//	        [-full] [-seed N] [-json rows.jsonl]
+//	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold|parallel]
+//	        [-full] [-seed N] [-json rows.jsonl] [-parallel N]
 //
 // By default reduced workload sizes keep the whole run in laptop-minutes;
 // -full selects the paper-scale parameters (400k-tuple relations, all 120
@@ -41,6 +41,7 @@ var all = []struct {
 	{"fig6c", experiments.Fig6c},
 	{"table1", experiments.Table1},
 	{"threshold", experiments.Threshold},
+	{"parallel", experiments.Parallel},
 }
 
 func main() {
@@ -48,9 +49,10 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale workloads")
 	seed := flag.Int64("seed", 1, "base random seed")
 	jsonPath := flag.String("json", "", "write benchmark rows as JSON Lines to this file ('-' = stdout)")
+	parallel := flag.Int("parallel", 0, "max replica pool size for the parallel experiment (0 = 8)")
 	flag.Parse()
 
-	cfg := experiments.Config{Out: os.Stdout, Full: *full, Seed: *seed}
+	cfg := experiments.Config{Out: os.Stdout, Full: *full, Seed: *seed, Parallel: *parallel}
 	var jsonEnc *json.Encoder
 	if *jsonPath != "" {
 		var w io.Writer = os.Stdout

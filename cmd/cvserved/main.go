@@ -10,7 +10,7 @@
 //	         -table CUST=cust.csv -table CONS=cons.csv \
 //	         -share city,areacode \
 //	         -constraints rules.txt [-order prob] [-budget 1000000] \
-//	         [-queue 64] [-timeout 30s] [-nodes-per-sec 0]
+//	         [-queue 64] [-timeout 30s] [-nodes-per-sec 0] [-replicas 0]
 //
 // Endpoints:
 //
@@ -63,6 +63,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max update tuples coalesced per index-maintenance batch (0 = default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	nodesPerSec := flag.Int("nodes-per-sec", 0, "map request deadlines to BDD node budgets at this rate (0 = off)")
+	replicas := flag.Int("replicas", 0, "replicated read-pool size for /check and /witnesses (0 = GOMAXPROCS, negative = disabled)")
 	flag.Parse()
 
 	if len(tables) == 0 || *constraintsPath == "" {
@@ -114,6 +115,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
 		NodesPerSecond: *nodesPerSec,
+		Replicas:       *replicas,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,71 @@
+package bdd
+
+import "fmt"
+
+// copy.go implements direct cross-kernel transfer of BDDs. Replication of
+// read-only indices across worker kernels (internal/replica) needs to move
+// whole subgraphs between kernels without the serialize/deserialize roundtrip
+// of Save/Load; CopyTo is a memoized walk that re-interns each source node
+// through the destination's makeNode, so copied BDDs share structure with
+// everything already living in the destination and copying the same roots
+// twice is a pure unique-table lookup.
+
+// CopyTo transfers the subgraphs reachable from roots into dst and returns
+// the corresponding destination Refs in the same order. The source kernel is
+// only read, never mutated, so concurrent CopyTo calls from one frozen
+// source into distinct destinations are safe; dst must not be used
+// concurrently. The destination must have at least as many variables as the
+// highest level reachable from roots, and variable i in the source is
+// variable i in the destination — replication reproduces the source's
+// variable layout before copying. Copying counts against dst's node budget;
+// on budget exhaustion the destination's sticky error is returned and dst is
+// left with Err set, like any other aborted operation.
+func (k *Kernel) CopyTo(dst *Kernel, roots ...Ref) ([]Ref, error) {
+	if dst == k {
+		out := make([]Ref, len(roots))
+		copy(out, roots)
+		return out, nil
+	}
+	memo := map[Ref]Ref{False: False, True: True}
+	mark := dst.TempMark()
+	defer dst.TempRelease(mark)
+	// Recursion depth is bounded by the variable count: levels strictly
+	// increase downward, exactly as in Save's topological visit.
+	var copyNode func(Ref) (Ref, error)
+	copyNode = func(f Ref) (Ref, error) {
+		if f == Invalid {
+			return Invalid, fmt.Errorf("bdd: CopyTo of Invalid ref")
+		}
+		if g, ok := memo[f]; ok {
+			return g, nil
+		}
+		n := &k.nodes[f]
+		if int(n.level) >= dst.numVars {
+			return Invalid, fmt.Errorf("bdd: CopyTo needs variable %d, destination has %d", n.level, dst.numVars)
+		}
+		low, err := copyNode(n.low)
+		if err != nil {
+			return Invalid, err
+		}
+		high, err := copyNode(n.high)
+		if err != nil {
+			return Invalid, err
+		}
+		g := dst.makeNode(n.level, low, high)
+		if g == Invalid {
+			return Invalid, dst.Err()
+		}
+		dst.TempKeep(g)
+		memo[f] = g
+		return g, nil
+	}
+	out := make([]Ref, len(roots))
+	for i, r := range roots {
+		g, err := copyNode(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = g
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package bdd_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bdd"
+)
+
+// copy_test.go checks the cross-kernel transfer API: CopyTo must preserve
+// BDD structure exactly (SatCount, node count, evaluation on every
+// assignment), share copied structure through the destination's unique
+// table, and respect the destination's node budget.
+
+func TestCopyToQuickPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	src := bdd.New(bdd.Config{Vars: qVars})
+	dst := bdd.New(bdd.Config{Vars: qVars})
+	all := assignments(qVars)
+	property := func(a qExpr) bool {
+		f := src.Protect(a.e.build(src))
+		defer src.Unprotect(f)
+		got, err := src.CopyTo(dst, f)
+		if err != nil {
+			t.Fatalf("CopyTo: %v", err)
+		}
+		g := dst.Protect(got[0])
+		defer dst.Unprotect(g)
+		if src.SatCount(f) != dst.SatCount(g) {
+			return false
+		}
+		if src.NodeCount(f) != dst.NodeCount(g) {
+			return false
+		}
+		// Random assignments plus the exhaustive set (qVars is small).
+		for _, asn := range all {
+			if src.Eval(f, asn) != dst.Eval(g, asn) {
+				return false
+			}
+		}
+		for i := 0; i < 16; i++ {
+			asn := make([]bool, qVars)
+			for j := range asn {
+				asn[j] = rng.Intn(2) == 1
+			}
+			if src.Eval(f, asn) != dst.Eval(g, asn) {
+				return false
+			}
+		}
+		// Copying again dedups through the destination's unique table:
+		// identical refs come back and no nodes are allocated.
+		before := dst.Size()
+		again, err := src.CopyTo(dst, f)
+		if err != nil {
+			t.Fatalf("second CopyTo: %v", err)
+		}
+		return again[0] == g && dst.Size() == before
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(qExpr{e: randExpr(rng, qVars, 2+r.Intn(12))})
+		},
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyToPreservesSharingAcrossRoots(t *testing.T) {
+	const nv = 8
+	src := bdd.New(bdd.Config{Vars: nv})
+	common := src.And(src.Var(2), src.Or(src.Var(4), src.NVar(6)))
+	f := src.Protect(src.Or(src.Var(0), common))
+	g := src.Protect(src.And(src.NVar(1), common))
+
+	dst := bdd.New(bdd.Config{Vars: nv})
+	got, err := src.CopyTo(dst, f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d roots, want 2", len(got))
+	}
+	if want := src.SharedNodeCount(f, g); dst.SharedNodeCount(got[0], got[1]) != want {
+		t.Fatalf("shared node count %d, want %d", dst.SharedNodeCount(got[0], got[1]), want)
+	}
+}
+
+func TestCopyToSameKernelIsIdentity(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 4})
+	f := k.And(k.Var(0), k.Var(3))
+	got, err := k.CopyTo(k, f, bdd.True)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != f || got[1] != bdd.True {
+		t.Fatalf("same-kernel copy changed refs: %v", got)
+	}
+}
+
+func TestCopyToRespectsDestinationBudget(t *testing.T) {
+	const nv = 12
+	src := bdd.New(bdd.Config{Vars: nv})
+	// A parity chain has 2*nv internal nodes — far beyond a budget of 4.
+	f := src.Var(0)
+	for i := 1; i < nv; i++ {
+		f = src.TempKeep(src.Xor(f, src.Var(i)))
+	}
+	dst := bdd.New(bdd.Config{Vars: nv, NodeBudget: 4})
+	if _, err := src.CopyTo(dst, f); !errors.Is(err, bdd.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if !errors.Is(dst.Err(), bdd.ErrBudget) {
+		t.Fatalf("dst.Err() = %v, want ErrBudget", dst.Err())
+	}
+}
+
+func TestCopyToRejectsNarrowDestination(t *testing.T) {
+	src := bdd.New(bdd.Config{Vars: 8})
+	f := src.Var(6)
+	dst := bdd.New(bdd.Config{Vars: 4})
+	if _, err := src.CopyTo(dst, f); err == nil {
+		t.Fatal("copy into a kernel with too few variables must fail")
+	}
+}

@@ -315,6 +315,10 @@ func projectionTable(cat *relation.Catalog, t *relation.Table, cols []int) (*rel
 // else through generic BDD evaluation, with SQL fallback on missing index
 // or exceeded node budget.
 func (c *Checker) CheckOne(ct logic.Constraint) Result {
+	return c.checkOne(ct, CheckOptions{})
+}
+
+func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) Result {
 	if !c.opts.NoFDFastPath {
 		if res, ok := c.tryFDFastPath(ct); ok {
 			c.stats.FDFastPath++
@@ -332,6 +336,17 @@ func (c *Checker) CheckOne(ct logic.Constraint) Result {
 	}
 	if !errors.Is(err, logic.ErrNoIndex) && !errors.Is(err, bdd.ErrBudget) {
 		c.stats.Errors++
+		res.Err = err
+		res.Duration = time.Since(start)
+		return res
+	}
+	if opts.NoSQLFallback {
+		// The caller wants the fallback routed elsewhere (a read-only
+		// replica has no live data to scan): report the need without
+		// running SQL and without claiming the fallback in the stats —
+		// whoever re-runs the constraint counts it.
+		res.FellBack = true
+		res.FallbackReason = err
 		res.Err = err
 		res.Duration = time.Since(start)
 		return res
@@ -365,12 +380,18 @@ type CheckOptions struct {
 	// evaluation abort immediately and the call degrade to the SQL fallback.
 	// A long-lived service maps per-request deadlines onto this cap.
 	NodeBudget int
+	// NoSQLFallback, when set, stops a check that needs the SQL fallback
+	// (missing index or exceeded budget) before the table scan: the Result
+	// comes back with FellBack set and Err carrying the reason, and no SQL
+	// runs. Read-only replicas use this to bounce fallback work to the
+	// primary, which sees the live tables.
+	NoSQLFallback bool
 }
 
 // CheckOneOpts validates a single constraint like CheckOne, under the
 // per-call options.
 func (c *Checker) CheckOneOpts(ct logic.Constraint, opts CheckOptions) (res Result) {
-	c.withBudget(opts.NodeBudget, func() { res = c.CheckOne(ct) })
+	c.withBudget(opts.NodeBudget, func() { res = c.checkOne(ct, opts) })
 	return res
 }
 

@@ -1,0 +1,115 @@
+// snapshot.go exports the checker's index geometry for replication: the
+// names, roots and variable blocks a second checker needs to reproduce the
+// primary's indices bit-for-bit inside its own kernel. Variable positions
+// determine the semantics of every encoded relation, so adoption must copy
+// the layout exactly rather than re-allocate blocks in discovery order.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fdd"
+)
+
+// BlockSnapshot describes one finite-domain block of an index: its name,
+// the domain cardinality it encodes, and the kernel variables it occupies
+// (most significant bit first).
+type BlockSnapshot struct {
+	Name string
+	Size int
+	Vars []int
+}
+
+// IndexSnapshot describes one logical index: enough to re-register it over
+// another kernel after transferring Root with bdd.CopyTo, or to persist it
+// with bdd.Save and re-adopt after bdd.Load.
+type IndexSnapshot struct {
+	Name   string
+	Table  string
+	Cols   []int
+	Order  []int
+	Root   bdd.Ref
+	Blocks []BlockSnapshot
+}
+
+// Options returns the options the checker was created with (Eval defaulted
+// as by New). A replica checker created with the same options reproduces
+// the primary's budget normalization and evaluation strategy.
+func (c *Checker) Options() Options { return c.opts }
+
+// SnapshotIndices captures every index of the checker in sorted name order.
+// The returned roots are Refs of this checker's kernel; they stay valid as
+// long as the indices are not dropped or rebuilt.
+func (c *Checker) SnapshotIndices() []IndexSnapshot {
+	names := c.store.Names()
+	out := make([]IndexSnapshot, 0, len(names))
+	for _, name := range names {
+		ix := c.store.Index(name)
+		snap := IndexSnapshot{
+			Name:  name,
+			Table: ix.Table().Name(),
+			Cols:  append([]int(nil), ix.Columns()...),
+			Order: append([]int(nil), ix.Order()...),
+			Root:  ix.Root(),
+		}
+		for _, d := range ix.Domains() {
+			snap.Blocks = append(snap.Blocks, BlockSnapshot{
+				Name: d.Name(),
+				Size: d.Size(),
+				Vars: append([]int(nil), d.Vars()...),
+			})
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// AdoptIndices reproduces snapshotted indices inside this checker: it
+// raises the kernel's variable count to cover every block, re-registers the
+// blocks at their original positions, transfers all roots from src in one
+// CopyTo walk (so structure shared between indices stays shared), and
+// registers each index for incremental maintenance. The checker must be
+// fresh — no indices built yet — and its catalog must contain the
+// snapshotted tables. src is only read, so many replicas can adopt from one
+// frozen source concurrently.
+func (c *Checker) AdoptIndices(src *bdd.Kernel, snaps []IndexSnapshot) error {
+	k := c.store.Kernel()
+	maxVar := -1
+	for _, s := range snaps {
+		for _, b := range s.Blocks {
+			for _, v := range b.Vars {
+				if v > maxVar {
+					maxVar = v
+				}
+			}
+		}
+	}
+	if maxVar >= k.NumVars() {
+		k.AddVars(maxVar + 1 - k.NumVars())
+	}
+	roots := make([]bdd.Ref, len(snaps))
+	for i, s := range snaps {
+		roots[i] = s.Root
+	}
+	copied, err := src.CopyTo(k, roots...)
+	if err != nil {
+		return fmt.Errorf("core: adopting indices: %w", err)
+	}
+	for i, s := range snaps {
+		t := c.catalog.Table(s.Table)
+		if t == nil {
+			return fmt.Errorf("core: adopting index %q: unknown table %q", s.Name, s.Table)
+		}
+		doms := make([]*fdd.Domain, len(s.Blocks))
+		for j, b := range s.Blocks {
+			doms[j] = c.store.Space().AdoptDomain(b.Name, b.Size, b.Vars)
+		}
+		if _, err := c.store.Adopt(s.Name, t,
+			append([]int(nil), s.Cols...), append([]int(nil), s.Order...), doms, copied[i]); err != nil {
+			return fmt.Errorf("core: adopting index %q: %w", s.Name, err)
+		}
+		c.indexRegistry[s.Table] = append(c.indexRegistry[s.Table], s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+	"repro/internal/logic"
+)
+
+// snapshot_test.go checks that SnapshotIndices carries everything needed to
+// reproduce a checker's indices elsewhere: adoption through the direct
+// CopyTo transfer and through a Save/Load roundtrip must both yield a
+// checker that decides every constraint identically, by the BDD path, on
+// structurally identical indices.
+
+func curriculumConstraints(t *testing.T) []logic.Constraint {
+	t.Helper()
+	f, err := logic.Parse(curriculumConstraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := logic.Parse(`forall s, c: TAKES(s, c) => exists d, z: STUDENT(s, d, z)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []logic.Constraint{
+		{Name: "cs_programming", F: f},
+		{Name: "takes_fk", F: g},
+	}
+}
+
+func TestSnapshotIndicesRoundTrip(t *testing.T) {
+	cat := buildCurriculum(t)
+	primary := newChecker(t, cat)
+	cts := curriculumConstraints(t)
+	want := primary.Check(cts)
+
+	snaps := primary.SnapshotIndices()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d snapshots, want 3", len(snaps))
+	}
+	for _, s := range snaps {
+		if len(s.Blocks) == 0 || len(s.Cols) != len(s.Blocks) {
+			t.Fatalf("snapshot %q: %d blocks for %d columns", s.Name, len(s.Blocks), len(s.Cols))
+		}
+	}
+
+	check := func(t *testing.T, replica *core.Checker) {
+		t.Helper()
+		for _, s := range snaps {
+			ix := replica.Store().Index(s.Name)
+			if ix == nil {
+				t.Fatalf("replica lost index %q", s.Name)
+			}
+			if got, want := ix.NodeCount(), primary.Store().Index(s.Name).NodeCount(); got != want {
+				t.Fatalf("index %q: %d nodes after adoption, want %d", s.Name, got, want)
+			}
+			// Membership must work on the adopted index.
+			tab := replica.Catalog().Table(s.Table)
+			for i := 0; i < tab.Len(); i++ {
+				if !ix.Contains(tab.Row(i)) {
+					t.Fatalf("index %q: adopted root misses row %d", s.Name, i)
+				}
+			}
+		}
+		got := replica.Check(cts)
+		for i, res := range got {
+			if res.Err != nil {
+				t.Fatalf("replica check %s: %v", cts[i].Name, res.Err)
+			}
+			if res.Method != core.MethodBDD {
+				t.Fatalf("replica check %s went through %s, want bdd (reason: %v)",
+					cts[i].Name, res.Method, res.FallbackReason)
+			}
+			if res.Violated != want[i].Violated {
+				t.Fatalf("replica check %s: violated=%v, primary says %v",
+					cts[i].Name, res.Violated, want[i].Violated)
+			}
+		}
+	}
+
+	t.Run("copyto", func(t *testing.T) {
+		replica := core.New(cat.Clone(), primary.Options())
+		if err := replica.AdoptIndices(primary.Store().Kernel(), snaps); err != nil {
+			t.Fatal(err)
+		}
+		check(t, replica)
+	})
+
+	t.Run("saveload", func(t *testing.T) {
+		// Persist the snapshot roots, reload them into an intermediate
+		// kernel with the same variable layout, then adopt from there.
+		roots := make([]bdd.Ref, len(snaps))
+		for i, s := range snaps {
+			roots[i] = s.Root
+		}
+		var buf bytes.Buffer
+		if err := primary.Store().Kernel().Save(&buf, roots...); err != nil {
+			t.Fatal(err)
+		}
+		mid := bdd.New(bdd.Config{Vars: primary.Store().Kernel().NumVars()})
+		loaded, err := mid.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reSnaps := make([]core.IndexSnapshot, len(snaps))
+		for i, s := range snaps {
+			reSnaps[i] = s
+			reSnaps[i].Root = loaded[i]
+		}
+		replica := core.New(cat.Clone(), primary.Options())
+		if err := replica.AdoptIndices(mid, reSnaps); err != nil {
+			t.Fatal(err)
+		}
+		check(t, replica)
+	})
+}
+
+func TestNoSQLFallbackStopsBeforeSQL(t *testing.T) {
+	cat := buildCurriculum(t)
+	chk := newChecker(t, cat)
+	cts := curriculumConstraints(t)
+
+	// A 1-node budget forces the BDD path to abort; with NoSQLFallback the
+	// result must report the needed fallback instead of running the scan.
+	res := chk.CheckOneOpts(cts[0], core.CheckOptions{NodeBudget: 1, NoSQLFallback: true})
+	if !res.FellBack || res.Err == nil {
+		t.Fatalf("want reported fallback, got %+v", res)
+	}
+	if !errors.Is(res.Err, bdd.ErrBudget) {
+		t.Fatalf("Err = %v, want ErrBudget", res.Err)
+	}
+	if got := chk.Stats().SQLFallbacks; got != 0 {
+		t.Fatalf("SQLFallbacks = %d, want 0 (no SQL may run)", got)
+	}
+
+	// Without the option the same budget degrades to SQL as before.
+	res = chk.CheckOneOpts(cts[0], core.CheckOptions{NodeBudget: 1})
+	if res.Err != nil || res.Method != core.MethodSQL || !res.FellBack {
+		t.Fatalf("want SQL fallback result, got %+v", res)
+	}
+	if !res.Violated {
+		t.Fatal("SQL fallback must still find the violation")
+	}
+}

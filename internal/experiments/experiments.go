@@ -45,8 +45,11 @@ type Config struct {
 	// Seed is the base random seed.
 	Seed int64
 	// Record, when non-nil, receives a BenchRow for every timed measurement
-	// of the instrumented experiments (fig4, table1, threshold).
+	// of the instrumented experiments (fig4, table1, threshold, parallel).
 	Record func(BenchRow)
+	// Parallel caps the replica sweep of the parallel experiment: pool sizes
+	// double from 1 up to this bound (0 = 8).
+	Parallel int
 }
 
 func (c Config) record(row BenchRow) {

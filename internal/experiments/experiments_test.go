@@ -56,3 +56,32 @@ func TestTable1Experiment(t *testing.T) {
 	}
 	runExperiment(t, "table1", experiments.Table1, "Table 1")
 }
+
+func TestParallelExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment")
+	}
+	var buf bytes.Buffer
+	var rows []experiments.BenchRow
+	cfg := experiments.Config{
+		Out: &buf, Seed: 7, Parallel: 2,
+		Record: func(r experiments.BenchRow) { rows = append(rows, r) },
+	}
+	if err := experiments.Parallel(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Parallel check throughput") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want one row per pool size (1, 2), got %d: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Experiment != "parallel" || r.NsPerOp <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+		if _, ok := r.Params["replicas"]; !ok {
+			t.Fatalf("row missing replicas param: %+v", r)
+		}
+	}
+}

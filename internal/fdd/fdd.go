@@ -84,6 +84,30 @@ func (s *Space) NewDomain(name string, size int) *Domain {
 	return d
 }
 
+// AdoptDomain registers a block over boolean variables that already exist
+// in the kernel instead of allocating fresh ones. Replication uses it to
+// reproduce a source space's exact variable layout inside a replica kernel
+// (after raising the kernel's variable count with AddVars): bit positions
+// determine the BDD semantics of every encoded relation, so a replica must
+// adopt the source's blocks, never re-allocate its own. vars is most
+// significant bit first and must have exactly the width size requires.
+func (s *Space) AdoptDomain(name string, size int, vars []int) *Domain {
+	if size < 1 {
+		panic(fmt.Sprintf("fdd: domain %q has size %d", name, size))
+	}
+	if len(vars) != bitsFor(size) {
+		panic(fmt.Sprintf("fdd: domain %q needs %d bits, got %d", name, bitsFor(size), len(vars)))
+	}
+	for _, v := range vars {
+		if v < 0 || v >= s.k.NumVars() {
+			panic(fmt.Sprintf("fdd: domain %q adopts variable %d outside kernel range [0,%d)", name, v, s.k.NumVars()))
+		}
+	}
+	d := &Domain{space: s, name: name, size: size, vars: append([]int(nil), vars...)}
+	s.domains = append(s.domains, d)
+	return d
+}
+
 // NewInterleavedDomains allocates several equal-width blocks with their bits
 // interleaved: bit j of every block is adjacent in the variable order. An
 // interleaved layout keeps the block-equality BDD linear in the bit width,

@@ -133,6 +133,40 @@ func (s *Store) Build(name string, t *relation.Table, cols []int, order []int) (
 	return ix, nil
 }
 
+// Adopt registers an index whose BDD was built elsewhere: the replication
+// path copies a primary index root into a replica kernel with bdd.CopyTo
+// and adopts it here, together with blocks reproduced through
+// fdd.Space.AdoptDomain. doms is parallel to cols (schema order), order is
+// the block layout permutation exactly as in Build, and root must be a Ref
+// of this store's kernel. The root is protected like a built index's.
+func (s *Store) Adopt(name string, t *relation.Table, cols []int, order []int, doms []*fdd.Domain, root bdd.Ref) (*Index, error) {
+	if _, dup := s.indices[name]; dup {
+		return nil, fmt.Errorf("index: %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("index: %q has no columns", name)
+	}
+	if len(doms) != len(cols) {
+		return nil, fmt.Errorf("index: %q: %d domains for %d columns", name, len(doms), len(cols))
+	}
+	if order == nil {
+		order = make([]int, len(cols))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != len(cols) {
+		return nil, fmt.Errorf("index: %q: order has %d entries for %d columns", name, len(order), len(cols))
+	}
+	if root == bdd.Invalid {
+		return nil, fmt.Errorf("index: %q: adopting an Invalid root", name)
+	}
+	ix := &Index{store: s, table: t, name: name, cols: cols, doms: doms, order: order, root: root}
+	s.kernel.Protect(root)
+	s.indices[name] = ix
+	return ix, nil
+}
+
 func (s *Store) protectedRoots() []bdd.Ref {
 	var roots []bdd.Ref
 	for _, ix := range s.indices {
@@ -161,6 +195,10 @@ func (ix *Index) Table() *relation.Table { return ix.table }
 
 // Columns returns the indexed column positions in schema order.
 func (ix *Index) Columns() []int { return ix.cols }
+
+// Order returns the block layout permutation chosen at build time
+// (positions into Columns()). The returned slice must not be modified.
+func (ix *Index) Order() []int { return ix.order }
 
 // Root returns the BDD of the indexed projection.
 func (ix *Index) Root() bdd.Ref { return ix.root }

@@ -1,0 +1,67 @@
+package relation_test
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// clone_test.go checks the snapshot semantics Catalog.Clone promises to the
+// replication layer: a clone is a frozen view that no later mutation of the
+// original can reach.
+
+func TestCatalogCloneIsFrozenSnapshot(t *testing.T) {
+	cat := relation.NewCatalog()
+	orig, err := cat.CreateTable("CUST", []relation.Column{
+		{Name: "city"}, {Name: "areacode", Domain: "areacode"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Insert("Toronto", "416")
+	orig.Insert("Oshawa", "905")
+
+	snap := cat.Clone()
+	ct := snap.Table("CUST")
+	if ct == nil {
+		t.Fatal("clone lost table CUST")
+	}
+	if ct.Len() != 2 || ct.Value(0, 0) != "Toronto" || ct.Value(1, 1) != "905" {
+		t.Fatal("clone does not reproduce rows")
+	}
+	if v := ct.Version(); v != orig.Version() {
+		t.Fatalf("clone version %d, want %d", v, orig.Version())
+	}
+
+	// Every kind of mutation of the original must be invisible in the clone:
+	// inserts (with new dictionary values), swap-compacting deletes, truncate
+	// followed by re-insert into the recycled backing array.
+	orig.Insert("Ottawa", "613")
+	orig.Delete("Toronto", "416")
+	if ct.Len() != 2 || ct.Value(0, 0) != "Toronto" || ct.Value(0, 1) != "416" {
+		t.Fatal("mutating the original leaked into the clone")
+	}
+	if _, ok := snap.Domain("areacode").Code("613"); ok {
+		t.Fatal("interning into the original leaked into the clone's domain")
+	}
+	orig.Truncate()
+	orig.Insert("Kingston", "343")
+	if ct.Value(1, 0) != "Oshawa" {
+		t.Fatal("truncate+insert on the original corrupted the clone's rows")
+	}
+
+	// And the converse: the clone is independently mutable without touching
+	// the original (not used by replication, but Clone must not alias).
+	ct.Insert("Barrie", "705")
+	if orig.Len() != 1 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+
+	// Tables in both catalogs keep domain sharing by name.
+	if snap.Table("CUST").ColumnDomain(1) != snap.Domain("areacode") {
+		t.Fatal("clone broke domain sharing")
+	}
+	if len(snap.Tables()) != len(cat.Tables()) {
+		t.Fatal("clone table listing differs")
+	}
+}

@@ -82,6 +82,41 @@ func (c *Catalog) Domain(name string) *Domain {
 	return d
 }
 
+// Clone returns a deep snapshot of the catalog: domains are deep-copied and
+// every table gets a fresh schema and a fresh outer row slice. The encoded
+// row slices themselves are shared with the original — no mutator ever
+// writes through an existing row in place (Insert appends fresh rows,
+// DeleteCodes swaps whole-row pointers, Truncate shortens the outer slice),
+// so shared rows stay valid while the original keeps mutating. As long as
+// the clone itself is never mutated it is an immutable snapshot, safe to
+// read from any number of goroutines; the replication layer freezes catalog
+// versions this way.
+func (c *Catalog) Clone() *Catalog {
+	nc := NewCatalog()
+	for name, d := range c.domains {
+		nd := &Domain{
+			name:   d.name,
+			byVal:  make(map[string]int32, len(d.byVal)),
+			values: append([]string(nil), d.values...),
+		}
+		for v, code := range d.byVal {
+			nd.byVal[v] = code
+		}
+		nc.domains[name] = nd
+	}
+	nc.order = append([]string(nil), c.order...)
+	for name, t := range c.tables {
+		nt := &Table{name: t.name, catalog: nc, version: t.version}
+		nt.cols = make([]columnInfo, len(t.cols))
+		for i, col := range t.cols {
+			nt.cols[i] = columnInfo{name: col.name, domain: nc.domains[col.domain.name]}
+		}
+		nt.rows = append(make([][]int32, 0, len(t.rows)), t.rows...)
+		nc.tables[name] = nt
+	}
+	return nc
+}
+
 // Column declares one attribute of a table schema.
 type Column struct {
 	// Name is the attribute name, unique within its table.

@@ -1,0 +1,248 @@
+// Package replica implements the replicated-kernel read path: N read-only
+// copies of the primary checker's logical indices, each with its own BDD
+// kernel, operation caches and evaluator, so constraint checks fan out
+// across cores with zero shared mutable state. BDD kernels are not
+// thread-safe and a shared unique table would serialize every lookup behind
+// a lock; replicating the (physically small, structurally shared) index
+// DAGs per worker removes all contention, the same trick factorised-
+// representation query engines use to keep reads lock-free.
+//
+// Ownership rules:
+//
+//   - The primary checker is owned exclusively by whoever applies writes
+//     (internal/service's worker goroutine). Replicas never see it.
+//   - After each write batch the primary's owner freezes a Version — an
+//     immutable snapshot (catalog clone + index copy into a fresh kernel) —
+//     and Publishes it. Building a Version reads the primary, so it must
+//     happen on the owner's goroutine.
+//   - Pool workers each own one replica checker built from the current
+//     Version. A worker notices a newer Version between requests and swaps
+//     by rebuilding its checker from the new frozen snapshot; in-flight
+//     work always finishes on the version it started with.
+//   - A Version is never mutated after construction: its catalog is a
+//     frozen clone and its kernel is only read (bdd.CopyTo does not touch
+//     the source), so any number of workers may adopt from it concurrently.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+)
+
+// ErrClosed is returned by Do after the pool has been closed.
+var ErrClosed = errors.New("replica: pool closed")
+
+// Version is one immutable snapshot of the primary's catalog and indices.
+// The zero epoch is never published; epochs increase with every handoff.
+type Version struct {
+	epoch  uint64
+	frozen *core.Checker
+	snaps  []core.IndexSnapshot
+}
+
+// NewVersion freezes the primary checker into an immutable snapshot tagged
+// with epoch. It must be called from the goroutine that owns the primary
+// (it reads the primary's catalog and kernel); the returned Version is safe
+// to share. The snapshot deep-clones the catalog metadata while sharing the
+// encoded row storage (rows are never mutated in place) and copies every
+// index root into a fresh kernel, so later writes to the primary cannot
+// reach it.
+func NewVersion(primary *core.Checker, epoch uint64) (*Version, error) {
+	frozen := core.New(primary.Catalog().Clone(), primary.Options())
+	snaps := primary.SnapshotIndices()
+	if err := frozen.AdoptIndices(primary.Store().Kernel(), snaps); err != nil {
+		return nil, fmt.Errorf("replica: freezing epoch %d: %w", epoch, err)
+	}
+	return &Version{epoch: epoch, frozen: frozen, snaps: frozen.SnapshotIndices()}, nil
+}
+
+// Epoch returns the version's epoch.
+func (v *Version) Epoch() uint64 { return v.epoch }
+
+// newReplica builds a worker-private checker from the frozen snapshot: it
+// shares the immutable catalog (checks only read it) but owns a fresh
+// kernel, caches and evaluator populated by one CopyTo walk.
+func (v *Version) newReplica() (*core.Checker, error) {
+	chk := core.New(v.frozen.Catalog(), v.frozen.Options())
+	if err := chk.AdoptIndices(v.frozen.Store().Kernel(), v.snaps); err != nil {
+		return nil, fmt.Errorf("replica: materializing epoch %d: %w", v.epoch, err)
+	}
+	return chk, nil
+}
+
+// Stats is one worker's counters, published after every job and swap.
+type Stats struct {
+	// Worker is the worker's index in the pool.
+	Worker int
+	// Epoch is the version the worker currently serves; zero until its
+	// first job.
+	Epoch uint64
+	// Jobs counts requests served by this worker.
+	Jobs uint64
+	// Kernel snapshots the worker's private kernel counters.
+	Kernel bdd.Stats
+	// Checker accumulates the worker's decision counters across every
+	// version it has served (a swap rebuilds the checker; the retired
+	// checker's counters are folded in rather than lost). Replicas never run
+	// the SQL fallback, so SQLFallbacks stays zero here; rerouted
+	// constraints are counted by the primary.
+	Checker core.Stats
+}
+
+// Pool runs a fixed set of replica workers. Reads are submitted with Do;
+// new index versions arrive via Publish and are picked up by each worker
+// between requests.
+type Pool struct {
+	latest  atomic.Pointer[Version]
+	jobs    chan job
+	workers int
+
+	mu     sync.RWMutex // guards send-vs-close on jobs
+	closed bool
+	wg     sync.WaitGroup
+
+	swaps atomic.Uint64
+	stats []atomic.Pointer[Stats]
+}
+
+type job struct {
+	fn  func(chk *core.Checker, epoch uint64)
+	err chan error
+}
+
+// New starts a pool of n workers serving v. Workers materialize their
+// replica lazily on first use, so constructing a pool is cheap.
+func New(n int, v *Version) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("replica: pool needs at least 1 worker, got %d", n)
+	}
+	if v == nil {
+		return nil, errors.New("replica: pool needs an initial version")
+	}
+	p := &Pool{
+		jobs:    make(chan job, 2*n),
+		workers: n,
+		stats:   make([]atomic.Pointer[Stats], n),
+	}
+	p.latest.Store(v)
+	for i := 0; i < n; i++ {
+		p.stats[i].Store(&Stats{Worker: i})
+		p.wg.Add(1)
+		go p.worker(i)
+	}
+	return p, nil
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.workers }
+
+// Epoch returns the epoch of the latest published version.
+func (p *Pool) Epoch() uint64 { return p.latest.Load().Epoch() }
+
+// Swaps returns how many version handoffs workers have completed (the
+// initial materialization of each worker counts as one).
+func (p *Pool) Swaps() uint64 { return p.swaps.Load() }
+
+// Publish hands a new version to the pool. Workers swap to it before their
+// next request; in-flight requests finish on the version they started with.
+// Publish never blocks and is safe to call concurrently with Do, though
+// versions must be produced by a single owner to keep epochs monotonic.
+func (p *Pool) Publish(v *Version) { p.latest.Store(v) }
+
+// Stats returns the latest per-worker counters, in worker order.
+func (p *Pool) Stats() []Stats {
+	out := make([]Stats, p.workers)
+	for i := range p.stats {
+		out[i] = *p.stats[i].Load()
+	}
+	return out
+}
+
+// Do runs fn on some replica worker and waits for it to finish. fn receives
+// the worker's private checker and the epoch it serves; it must not retain
+// the checker past its return. Submission respects ctx, but once a worker
+// has accepted the job Do waits for completion regardless of ctx — fn
+// typically writes into the caller's locals. Do returns ErrClosed after
+// Close, or the worker's materialization error if the replica could not be
+// built.
+func (p *Pool) Do(ctx context.Context, fn func(chk *core.Checker, epoch uint64)) error {
+	jb := job{fn: fn, err: make(chan error, 1)}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	// The read lock is held across the (possibly blocking) send so Close
+	// cannot close the channel under a pending send: workers keep draining
+	// until Close gets the write lock, so the send always completes.
+	select {
+	case p.jobs <- jb:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return ctx.Err()
+	}
+	return <-jb.err
+}
+
+// Close stops the workers after draining already-accepted jobs. Do calls
+// racing with Close either complete or return ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker(i int) {
+	defer p.wg.Done()
+	var cur *Version
+	var chk *core.Checker
+	var jobs uint64
+	var retired core.Stats // counters of checkers discarded by swaps
+	for jb := range p.jobs {
+		if latest := p.latest.Load(); cur != latest {
+			next, err := latest.newReplica()
+			if err != nil && chk == nil {
+				// No fallback version to serve: fail this job.
+				jb.err <- err
+				continue
+			}
+			if err == nil {
+				if chk != nil {
+					retired = addStats(retired, chk.Stats())
+				}
+				cur, chk = latest, next
+				p.swaps.Add(1)
+			}
+			// On error with a previous version in hand, keep serving it;
+			// the next publish retries the swap.
+		}
+		jb.fn(chk, cur.epoch)
+		jobs++
+		p.stats[i].Store(&Stats{
+			Worker: i, Epoch: cur.epoch, Jobs: jobs,
+			Kernel: chk.KernelStats(), Checker: addStats(retired, chk.Stats()),
+		})
+		jb.err <- nil
+	}
+}
+
+func addStats(a, b core.Stats) core.Stats {
+	a.BDDChecks += b.BDDChecks
+	a.FDFastPath += b.FDFastPath
+	a.SQLFallbacks += b.SQLFallbacks
+	a.Errors += b.Errors
+	return a
+}

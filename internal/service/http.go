@@ -92,16 +92,48 @@ type UpdateResponse struct {
 	Error   string `json:"error,omitempty"`
 }
 
-// StatszResponse reports live server, checker and kernel counters.
+// StatszResponse reports live server, checker and kernel counters. Checker
+// and Kernel aggregate across the primary and every replica (node counts,
+// cache hits and op counts sum; Vars and Budget are the primary's, as all
+// kernels share the same layout and budget); PrimaryKernel isolates the
+// write path's kernel and Replication breaks the read pool down per worker.
 type StatszResponse struct {
-	UptimeMS    int64        `json:"uptime_ms"`
-	Queue       QueueStats   `json:"queue"`
-	Requests    RequestStats `json:"requests"`
-	Checker     CheckerStats `json:"checker"`
-	Kernel      KernelStats  `json:"kernel"`
-	Indices     []IndexStats `json:"indices"`
-	Tables      []TableStats `json:"tables"`
-	Constraints []string     `json:"constraints"`
+	UptimeMS      int64            `json:"uptime_ms"`
+	Queue         QueueStats       `json:"queue"`
+	Requests      RequestStats     `json:"requests"`
+	Checker       CheckerStats     `json:"checker"`
+	Kernel        KernelStats      `json:"kernel"`
+	PrimaryKernel KernelStats      `json:"primary_kernel"`
+	Replication   ReplicationStats `json:"replication"`
+	Indices       []IndexStats     `json:"indices"`
+	Tables        []TableStats     `json:"tables"`
+	Constraints   []string         `json:"constraints"`
+}
+
+// ReplicationStats reports the replicated read path: pool size, current
+// epoch, handoffs completed, and how requests were routed.
+type ReplicationStats struct {
+	// Replicas is the pool size; zero when replication is disabled.
+	Replicas int `json:"replicas"`
+	// Epoch is the latest published index version.
+	Epoch uint64 `json:"epoch"`
+	// Swaps counts completed version handoffs across all workers.
+	Swaps uint64 `json:"swaps"`
+	// ReplicaChecks and ReplicaWitnesses count requests served by the pool;
+	// Reroutes counts constraints bounced to the primary for SQL fallback.
+	ReplicaChecks    uint64 `json:"replica_checks"`
+	ReplicaWitnesses uint64 `json:"replica_witnesses"`
+	Reroutes         uint64 `json:"reroutes"`
+	// Workers reports each replica's private counters.
+	Workers []ReplicaWorkerStats `json:"workers,omitempty"`
+}
+
+// ReplicaWorkerStats is one replica worker's view for /statsz.
+type ReplicaWorkerStats struct {
+	Worker int         `json:"worker"`
+	Epoch  uint64      `json:"epoch"`
+	Jobs   uint64      `json:"jobs"`
+	Kernel KernelStats `json:"kernel"`
 }
 
 // QueueStats reports admission-queue depths against their capacity.
@@ -295,6 +327,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	cs := snap.checker
+	primary := KernelStats{
+		LiveNodes:    snap.kernel.Live,
+		PeakNodes:    snap.kernel.Peak,
+		Capacity:     snap.kernel.Capacity,
+		Vars:         snap.kernel.Vars,
+		Budget:       snap.kernel.Budget,
+		GCRuns:       snap.kernel.GCRuns,
+		Ops:          snap.kernel.Ops,
+		CacheHits:    snap.kernel.CacheHits,
+		CacheEntries: snap.kernel.CacheEntries,
+	}
+	agg := primary
+	repl := ReplicationStats{
+		ReplicaChecks:    s.nReplicaChecks.Load(),
+		ReplicaWitnesses: s.nReplicaWitness.Load(),
+		Reroutes:         s.nReroutes.Load(),
+	}
+	if s.pool != nil {
+		repl.Replicas = s.pool.Size()
+		repl.Epoch = s.pool.Epoch()
+		repl.Swaps = s.pool.Swaps()
+		for _, ws := range s.pool.Stats() {
+			wk := KernelStats{
+				LiveNodes:    ws.Kernel.Live,
+				PeakNodes:    ws.Kernel.Peak,
+				Capacity:     ws.Kernel.Capacity,
+				Vars:         ws.Kernel.Vars,
+				Budget:       ws.Kernel.Budget,
+				GCRuns:       ws.Kernel.GCRuns,
+				Ops:          ws.Kernel.Ops,
+				CacheHits:    ws.Kernel.CacheHits,
+				CacheEntries: ws.Kernel.CacheEntries,
+			}
+			repl.Workers = append(repl.Workers, ReplicaWorkerStats{
+				Worker: ws.Worker, Epoch: ws.Epoch, Jobs: ws.Jobs, Kernel: wk,
+			})
+			agg.LiveNodes += wk.LiveNodes
+			agg.PeakNodes += wk.PeakNodes
+			agg.Capacity += wk.Capacity
+			agg.GCRuns += wk.GCRuns
+			agg.Ops += wk.Ops
+			agg.CacheHits += wk.CacheHits
+			agg.CacheEntries += wk.CacheEntries
+			cs.BDDChecks += ws.Checker.BDDChecks
+			cs.FDFastPath += ws.Checker.FDFastPath
+			cs.SQLFallbacks += ws.Checker.SQLFallbacks
+			cs.Errors += ws.Checker.Errors
+		}
+	}
 	decided := cs.BDDChecks + cs.FDFastPath + cs.SQLFallbacks
 	rate := 0.0
 	if decided > 0 {
@@ -324,20 +405,12 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Errors:       cs.Errors,
 			FallbackRate: rate,
 		},
-		Kernel: KernelStats{
-			LiveNodes:    snap.kernel.Live,
-			PeakNodes:    snap.kernel.Peak,
-			Capacity:     snap.kernel.Capacity,
-			Vars:         snap.kernel.Vars,
-			Budget:       snap.kernel.Budget,
-			GCRuns:       snap.kernel.GCRuns,
-			Ops:          snap.kernel.Ops,
-			CacheHits:    snap.kernel.CacheHits,
-			CacheEntries: snap.kernel.CacheEntries,
-		},
-		Indices:     snap.indices,
-		Tables:      snap.tables,
-		Constraints: s.Constraints(),
+		Kernel:        agg,
+		PrimaryKernel: primary,
+		Replication:   repl,
+		Indices:       snap.indices,
+		Tables:        snap.tables,
+		Constraints:   s.Constraints(),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

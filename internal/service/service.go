@@ -16,18 +16,31 @@
 // Per-request deadlines map onto node budgets (Options.NodesPerSecond): a
 // request with little time left gets a small budget, and a check that blows
 // it degrades gracefully to the SQL fallback exactly as core.CheckOne does.
+//
+// Parallel read path: with Options.Replicas ≥ 1 (the default is
+// GOMAXPROCS), /check and /witnesses are served by a pool of replicated
+// read-only checkers (internal/replica), each owning a private BDD kernel,
+// so reads scale across cores. The primary worker keeps exclusive
+// ownership of writes: after each update batch it freezes an immutable
+// index version and publishes it to the pool *before* acknowledging the
+// batch, so an acked update is visible to every subsequently submitted
+// check, exactly as in the single-worker model. Checks that need the SQL
+// fallback (missing index, blown budget) are rerouted from the replica to
+// the primary worker, which sees the live tables.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/replica"
 )
 
 // Service errors, mapped to HTTP statuses by the handlers.
@@ -57,6 +70,10 @@ type Options struct {
 	// then run under the checker-wide budget (or their explicit per-request
 	// budget).
 	NodesPerSecond int
+	// Replicas sizes the replicated-kernel read pool serving /check and
+	// /witnesses. Zero selects GOMAXPROCS; a negative value disables
+	// replication, serializing reads behind the primary worker.
+	Replicas int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.Replicas == 0 {
+		o.Replicas = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -88,6 +108,15 @@ type Server struct {
 
 	snap atomic.Pointer[snapshot]
 
+	// Replicated read path. pool is nil when replication is disabled or its
+	// bootstrap failed; replicaOK drops to false when a version freeze
+	// fails, sending reads back through the primary until a later freeze
+	// succeeds. epoch is owned by the worker goroutine (and New, before the
+	// worker starts).
+	pool      *replica.Pool
+	replicaOK atomic.Bool
+	epoch     uint64
+
 	// Request counters, incremented from handler goroutines.
 	nChecks          atomic.Uint64
 	nWitnesses       atomic.Uint64
@@ -96,6 +125,9 @@ type Server struct {
 	nBatches         atomic.Uint64
 	nDeadlineRejects atomic.Uint64
 	nQueueRejects    atomic.Uint64
+	nReplicaChecks   atomic.Uint64
+	nReplicaWitness  atomic.Uint64
+	nReroutes        atomic.Uint64
 }
 
 // snapshot is the worker-published view of checker and kernel state, read
@@ -151,6 +183,19 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 	}
 	s.checks = make(chan *checkJob, s.opts.QueueDepth)
 	s.updates = make(chan *updateJob, s.opts.QueueDepth)
+	if s.opts.Replicas > 0 {
+		// Freeze the bootstrap version while we still own the checker (the
+		// worker has not started). A failed freeze (e.g. the index copy
+		// does not fit the node budget) degrades to the single-worker read
+		// path instead of failing the server.
+		s.epoch = 1
+		if v, err := replica.NewVersion(chk, s.epoch); err == nil {
+			if pool, err := replica.New(s.opts.Replicas, v); err == nil {
+				s.pool = pool
+				s.replicaOK.Store(true)
+			}
+		}
+	}
 	s.publish(true) // safe: the worker has not started yet
 	go s.run()
 	return s, nil
@@ -161,6 +206,9 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 func (s *Server) Close() {
 	s.closing.Do(func() { close(s.quit) })
 	<-s.done
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 // Constraints lists the registered constraint names in registry order.
@@ -237,48 +285,77 @@ func (s *Server) gatherUpdates(first *updateJob) []*updateJob {
 	return batch
 }
 
-// applyBatch applies each job of one coalesced round and acknowledges it.
-// Jobs are independent: one failing job does not hold back the others.
+// applyBatch applies each job of one coalesced round, publishes the
+// resulting index version to the replica pool, and only then acknowledges
+// the jobs: an acked update is visible to every subsequently submitted
+// check, whichever replica serves it. Jobs are independent: one failing job
+// does not hold back the others.
 func (s *Server) applyBatch(batch []*updateJob) {
 	s.nBatches.Add(1)
-	for _, u := range batch {
+	replies := make([]updateReply, len(batch))
+	for i, u := range batch {
 		if err := u.ctx.Err(); err != nil {
 			s.nDeadlineRejects.Add(1)
-			u.reply <- updateReply{err: err}
+			replies[i] = updateReply{err: err}
 			continue
 		}
 		applied, err := s.chk.Apply(u.ups)
 		s.nUpdateTuples.Add(uint64(applied))
-		u.reply <- updateReply{applied: applied, err: err}
+		replies[i] = updateReply{applied: applied, err: err}
 	}
+	s.publishVersion()
 	s.publish(true)
+	for i, u := range batch {
+		u.reply <- replies[i]
+	}
+}
+
+// publishVersion freezes the checker's current indices into a new epoch and
+// hands it to the replica pool. Only the worker calls it. A failed freeze
+// routes reads back through the primary (replicaOK) rather than serving
+// stale data; the next successful freeze re-enables the pool.
+func (s *Server) publishVersion() {
+	if s.pool == nil {
+		return
+	}
+	s.epoch++
+	v, err := replica.NewVersion(s.chk, s.epoch)
+	if err != nil {
+		s.replicaOK.Store(false)
+		return
+	}
+	s.pool.Publish(v)
+	s.replicaOK.Store(true)
 }
 
 // runCheck serves one check or witness job under its deadline-derived
-// budget.
+// budget. The stats snapshot is refreshed before the reply goes out, so a
+// client that has its answer reads its own effects from /statsz.
 func (s *Server) runCheck(j *checkJob) {
-	defer s.publish(false)
 	if err := j.ctx.Err(); err != nil {
 		s.nDeadlineRejects.Add(1)
 		j.reply <- checkReply{err: err}
 		return
 	}
-	opts := core.CheckOptions{NodeBudget: s.budgetFor(j)}
+	opts := core.CheckOptions{NodeBudget: s.budgetFor(j.ctx, j.budget)}
+	var rep checkReply
 	if j.witnessLimit > 0 {
-		j.reply <- s.runWitnesses(j.cts[0], j.witnessLimit, opts)
-		return
-	}
-	results := make([]core.Result, 0, len(j.cts))
-	for _, ct := range j.cts {
-		if err := j.ctx.Err(); err != nil {
-			// The deadline blew mid-request; the remaining constraints
-			// report the context error instead of burning more kernel time.
-			results = append(results, core.Result{Constraint: ct, Err: err})
-			continue
+		rep = s.runWitnesses(j.cts[0], j.witnessLimit, opts)
+	} else {
+		results := make([]core.Result, 0, len(j.cts))
+		for _, ct := range j.cts {
+			if err := j.ctx.Err(); err != nil {
+				// The deadline blew mid-request; the remaining constraints
+				// report the context error instead of burning more kernel time.
+				results = append(results, core.Result{Constraint: ct, Err: err})
+				continue
+			}
+			results = append(results, s.chk.CheckOneOpts(ct, opts))
 		}
-		results = append(results, s.chk.CheckOneOpts(ct, opts))
+		rep = checkReply{results: results}
 	}
-	j.reply <- checkReply{results: results}
+	s.publish(false)
+	j.reply <- rep
 }
 
 // runWitnesses extracts violating bindings from the BDD evaluation, falling
@@ -304,11 +381,12 @@ func (s *Server) runWitnesses(ct logic.Constraint, limit int, opts core.CheckOpt
 }
 
 // budgetFor combines the request's explicit node cap with the cap derived
-// from its remaining deadline.
-func (s *Server) budgetFor(j *checkJob) int {
-	b := j.budget
+// from its remaining deadline. It only reads immutable options, so both the
+// worker and the replica dispatch path (handler goroutines) may call it.
+func (s *Server) budgetFor(ctx context.Context, explicit int) int {
+	b := explicit
 	if s.opts.NodesPerSecond > 0 {
-		if dl, ok := j.ctx.Deadline(); ok {
+		if dl, ok := ctx.Deadline(); ok {
 			d := int(time.Until(dl).Seconds() * float64(s.opts.NodesPerSecond))
 			if d < 1 {
 				d = 1 // expired deadlines were rejected earlier; keep the cap positive
@@ -397,8 +475,90 @@ func (s *Server) resolve(names []string, text string) ([]logic.Constraint, error
 	return cts, nil
 }
 
-// submitCheck queues a check (or witness) job and waits for its reply.
+// submitCheck serves a check (or witness) job: on the replicated read path
+// when the pool is healthy, behind the primary worker otherwise.
 func (s *Server) submitCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int) (checkReply, error) {
+	if s.pool != nil && s.replicaOK.Load() {
+		if witnessLimit > 0 {
+			if rep, ok := s.replicaWitnesses(ctx, cts[0], witnessLimit, budget); ok {
+				s.nReplicaWitness.Add(1)
+				return rep, nil
+			}
+		} else if rep, ok := s.replicaCheck(ctx, cts, budget); ok {
+			s.nReplicaChecks.Add(1)
+			return rep, rep.err
+		}
+	}
+	return s.submitPrimaryCheck(ctx, cts, budget, witnessLimit)
+}
+
+// replicaCheck runs a check job on some replica worker. Constraints the
+// replica cannot decide — they need the SQL fallback, which must see the
+// live tables — are rerouted to the primary worker and merged back by
+// position. ok is false when the pool could not take the job at all (closed
+// or failed materialization); the caller then retries on the primary.
+func (s *Server) replicaCheck(ctx context.Context, cts []logic.Constraint, budget int) (checkReply, bool) {
+	results := make([]core.Result, len(cts))
+	opts := core.CheckOptions{NodeBudget: s.budgetFor(ctx, budget), NoSQLFallback: true}
+	err := s.pool.Do(ctx, func(chk *core.Checker, _ uint64) {
+		for i, ct := range cts {
+			if cerr := ctx.Err(); cerr != nil {
+				results[i] = core.Result{Constraint: ct, Err: cerr}
+				continue
+			}
+			results[i] = chk.CheckOneOpts(ct, opts)
+		}
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return checkReply{err: err}, true
+		}
+		return checkReply{}, false
+	}
+	// Constraints that reported a needed fallback rerun on the primary.
+	var reroute []int
+	for i, res := range results {
+		if res.FellBack && res.Err != nil {
+			reroute = append(reroute, i)
+		}
+	}
+	if len(reroute) > 0 {
+		s.nReroutes.Add(uint64(len(reroute)))
+		sub := make([]logic.Constraint, len(reroute))
+		for j, i := range reroute {
+			sub[j] = cts[i]
+		}
+		rep, err := s.submitPrimaryCheck(ctx, sub, budget, 0)
+		if err != nil {
+			return checkReply{err: err}, true
+		}
+		for j, i := range reroute {
+			results[i] = rep.results[j]
+		}
+	}
+	return checkReply{results: results}, true
+}
+
+// replicaWitnesses extracts witnesses on a replica. Only a definite BDD
+// answer with at least one witness is served from the replica; everything
+// else (budget blown, missing index, or zero witnesses, which the primary
+// double-checks against the live tables via SQL) routes to the primary.
+func (s *Server) replicaWitnesses(ctx context.Context, ct logic.Constraint, limit, budget int) (checkReply, bool) {
+	var ws []core.Witness
+	var werr error
+	opts := core.CheckOptions{NodeBudget: s.budgetFor(ctx, budget)}
+	err := s.pool.Do(ctx, func(chk *core.Checker, _ uint64) {
+		ws, werr = chk.ViolationWitnessesOpts(ct, limit, opts)
+	})
+	if err != nil || werr != nil || len(ws) == 0 {
+		return checkReply{}, false
+	}
+	return checkReply{witnesses: ws, witnessMethod: core.MethodBDD}, true
+}
+
+// submitPrimaryCheck queues a check (or witness) job on the primary worker
+// and waits for its reply.
+func (s *Server) submitPrimaryCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int) (checkReply, error) {
 	j := &checkJob{
 		ctx:          ctx,
 		cts:          cts,

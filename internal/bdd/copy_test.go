@@ -70,6 +70,82 @@ func TestCopyToQuickPreservesStructure(t *testing.T) {
 	}
 }
 
+// TestCopyToIntoPopulatedKernelQuick is the adoption scenario of the read
+// pool: the destination kernel already holds live protected BDDs (a replica
+// with older indices) when new roots are copied in. The copy must preserve
+// SatCount, node count, and evaluation on every assignment, while the
+// destination's pre-existing roots keep evaluating exactly as before —
+// copied structure may *share* their nodes but must never mutate them.
+func TestCopyToIntoPopulatedKernelQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	all := assignments(qVars)
+	property := func(a, b qExpr) bool {
+		src := bdd.New(bdd.Config{Vars: qVars})
+		dst := bdd.New(bdd.Config{Vars: qVars})
+		// Populate the destination first and record resident behavior.
+		resident := dst.Protect(b.e.build(dst))
+		residentVals := make([]bool, len(all))
+		for i, asn := range all {
+			residentVals[i] = dst.Eval(resident, asn)
+		}
+		residentNodes := dst.NodeCount(resident)
+
+		f := src.Protect(a.e.build(src))
+		got, err := src.CopyTo(dst, f)
+		if err != nil {
+			t.Fatalf("CopyTo: %v", err)
+		}
+		g := dst.Protect(got[0])
+		if src.SatCount(f) != dst.SatCount(g) {
+			return false
+		}
+		if src.NodeCount(f) != dst.NodeCount(g) {
+			return false
+		}
+		for _, asn := range all {
+			if src.Eval(f, asn) != dst.Eval(g, asn) {
+				return false
+			}
+		}
+		for i := 0; i < 16; i++ {
+			asn := make([]bool, qVars)
+			for j := range asn {
+				asn[j] = rng.Intn(2) == 1
+			}
+			if src.Eval(f, asn) != dst.Eval(g, asn) {
+				return false
+			}
+		}
+		// The resident root is bit-for-bit undisturbed.
+		for i, asn := range all {
+			if dst.Eval(resident, asn) != residentVals[i] {
+				return false
+			}
+		}
+		if dst.NodeCount(resident) != residentNodes {
+			return false
+		}
+		// A GC with both roots protected must keep both alive.
+		dst.GC()
+		for i, asn := range all {
+			if dst.Eval(resident, asn) != residentVals[i] || src.Eval(f, asn) != dst.Eval(g, asn) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(qExpr{e: randExpr(rng, qVars, 2+r.Intn(12))})
+			args[1] = reflect.ValueOf(qExpr{e: randExpr(rng, qVars, 2+r.Intn(12))})
+		},
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCopyToPreservesSharingAcrossRoots(t *testing.T) {
 	const nv = 8
 	src := bdd.New(bdd.Config{Vars: nv})

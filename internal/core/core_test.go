@@ -335,3 +335,52 @@ func TestIndexOverProjection(t *testing.T) {
 		t.Fatalf("projection index should be used, fell back: %v", res.FallbackReason)
 	}
 }
+
+// TestChainedCanonicalBlockRename pins a rename-chain scenario found by the
+// differential harness (testdata seed 505 in internal/difftest): under a
+// data-driven ordering, the variable vb claims the index's own c2 block, so
+// evaluating the second occurrence of T1 needs the simultaneous substitution
+// {c0→c2, c2→scratch}. A per-block fallback that binds c0 to the c2 block
+// while c2 is still in the BDD's support computes the diagonal T1(x,·,x)
+// instead of the rename, yielding spurious violation witnesses.
+func TestChainedCanonicalBlockRename(t *testing.T) {
+	cat := relation.NewCatalog()
+	tab, err := cat.CreateTable("T1", []relation.Column{
+		{Name: "c0", Domain: "d3"},
+		{Name: "c1", Domain: "d1"},
+		{Name: "c2", Domain: "d3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert("D3_0", "D1_3", "D3_1")
+	tab.Insert("D3_3", "D1_3", "D3_0")
+	tab.Insert("D3_1", "D1_3", "D3_0")
+	chk := core.New(cat, core.Options{NodeBudget: -1, RandomSeed: 860045})
+	if _, err := chk.BuildIndex("T1", "T1", nil, core.OrderProbConverge); err != nil {
+		t.Fatal(err)
+	}
+	f, err := logic.Parse(`T1("D3_0", va, vb) or T1(vb, "D1_3", ve)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := logic.Constraint{Name: "chain", F: f}
+	res := chk.CheckOne(ct)
+	if res.Err != nil {
+		t.Fatalf("CheckOne: %v", res.Err)
+	}
+	if res.Method != core.MethodBDD {
+		t.Fatalf("expected BDD evaluation, got %s (fallback: %v)", res.Method, res.FallbackReason)
+	}
+	if !res.Violated {
+		t.Fatal("constraint should be violated")
+	}
+	// 1×3×3 bindings minus the five satisfying either disjunct.
+	ws, err := chk.ViolationWitnesses(ct, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("expected 4 violation witnesses, got %d: %v", len(ws), ws)
+	}
+}

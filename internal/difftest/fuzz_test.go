@@ -1,0 +1,38 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDifferential feeds arbitrary bytes through ByteChooser into the case
+// generator and runs the three-way oracle on the result. Coverage-guided
+// mutation therefore explores the space of generator *decisions* — schemas,
+// fills, formula shapes, update sequences — rather than mutating opaque
+// serialized catalogs, so nearly every input is a meaningful case. Any byte
+// string decodes (exhausted streams choose 0), so the target never skips.
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// A few dense random decision streams as diverse starting points.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 6; i++ {
+		b := make([]byte, 64+rng.Intn(192))
+		rng.Read(b)
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("oversized input")
+		}
+		c := GenerateCase(&ByteChooser{Data: data})
+		mm, err := RunCase(c)
+		if err != nil {
+			t.Fatalf("hard error: %v\ncase:\n%s", err, SaveCase(c))
+		}
+		if mm != nil {
+			sh := Shrink(c)
+			t.Fatalf("%s\nshrunken case:\n%s", mm, SaveCase(sh))
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package difftest
+
+import (
+	"repro/internal/logic"
+)
+
+// shrink.go greedily minimizes a failing case while preserving the oracle
+// mismatch. The shrinker only accepts a candidate when RunCase reproduces a
+// mismatch *without* a hard error — a candidate that merely breaks the
+// harness (dangling table reference, inapplicable delete) is rejected, so
+// the minimized repro is always a well-formed case. Passes repeat until a
+// fixed point or the run budget is exhausted:
+//
+//	1. keep only one constraint,
+//	2. drop update batches, then individual update operations,
+//	3. drop whole tables and whole domains,
+//	4. delta-debug the rows of every table,
+//	5. shrink the constraint formula structurally (subformula → child,
+//	   subformula → true/false, fewer quantified variables, smaller
+//	   membership sets),
+//	6. drop individual domain values.
+
+// shrinkBudget caps RunCase invocations per Shrink call; each run rebuilds
+// catalogs and kernels, so the cap bounds shrink time on pathological cases.
+const shrinkBudget = 3000
+
+type shrinker struct {
+	runs int
+	// kind pins the Mismatch.Kind of the original failure: a candidate only
+	// counts as reproducing when it fails the same way, so e.g. an
+	// "sql-error" case cannot drift into an unrelated "verdict" mismatch
+	// mid-shrink.
+	kind string
+}
+
+// Shrink returns a minimized copy of a failing case. If c does not actually
+// fail (or fails only with a hard error), it is returned unchanged.
+func Shrink(c *Case) *Case {
+	s := &shrinker{}
+	cur := c.clone()
+	mm, err := RunCase(cur)
+	if err != nil || mm == nil {
+		return cur
+	}
+	s.kind = mm.Kind
+	for changed := true; changed && s.runs < shrinkBudget; {
+		changed = false
+		changed = s.shrinkConstraints(&cur) || changed
+		changed = s.shrinkUpdates(&cur) || changed
+		changed = s.shrinkTables(&cur) || changed
+		changed = s.shrinkRows(&cur) || changed
+		changed = s.shrinkFormula(&cur) || changed
+		changed = s.shrinkDomainValues(&cur) || changed
+	}
+	return cur
+}
+
+func (s *shrinker) fails(c *Case) bool {
+	if s.runs >= shrinkBudget {
+		return false
+	}
+	s.runs++
+	mm, err := RunCase(c)
+	return err == nil && mm != nil && mm.Kind == s.kind
+}
+
+// accept swaps *cur for cand when cand still reproduces.
+func (s *shrinker) accept(cur **Case, cand *Case) bool {
+	if s.fails(cand) {
+		*cur = cand
+		return true
+	}
+	return false
+}
+
+func (s *shrinker) shrinkConstraints(cur **Case) bool {
+	changed := false
+	if len((*cur).Constraints) > 1 {
+		for _, ct := range (*cur).Constraints {
+			cand := (*cur).clone()
+			cand.Constraints = []ConstraintSpec{ct}
+			if s.accept(cur, cand) {
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func (s *shrinker) shrinkUpdates(cur **Case) bool {
+	changed := false
+	for i := 0; i < len((*cur).Updates); {
+		cand := (*cur).clone()
+		cand.Updates = append(cand.Updates[:i], cand.Updates[i+1:]...)
+		if s.accept(cur, cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	for bi := 0; bi < len((*cur).Updates); bi++ {
+		for i := 0; i < len((*cur).Updates[bi]); {
+			cand := (*cur).clone()
+			cand.Updates[bi] = append(cand.Updates[bi][:i], cand.Updates[bi][i+1:]...)
+			if s.accept(cur, cand) {
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return changed
+}
+
+func (s *shrinker) shrinkTables(cur **Case) bool {
+	changed := false
+	for i := 0; i < len((*cur).Tables); {
+		cand := (*cur).clone()
+		cand.Tables = append(cand.Tables[:i], cand.Tables[i+1:]...)
+		if s.accept(cur, cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	for i := 0; i < len((*cur).Domains); {
+		cand := (*cur).clone()
+		cand.Domains = append(cand.Domains[:i], cand.Domains[i+1:]...)
+		if s.accept(cur, cand) {
+			changed = true
+		} else {
+			i++
+		}
+	}
+	return changed
+}
+
+// shrinkRows is ddmin per table: remove progressively smaller chunks of
+// rows while the mismatch persists.
+func (s *shrinker) shrinkRows(cur **Case) bool {
+	changed := false
+	for ti := range (*cur).Tables {
+		chunk := (len((*cur).Tables[ti].Rows) + 1) / 2
+		for chunk >= 1 {
+			removed := false
+			for start := 0; start < len((*cur).Tables[ti].Rows); {
+				rows := (*cur).Tables[ti].Rows
+				end := start + chunk
+				if end > len(rows) {
+					end = len(rows)
+				}
+				cand := (*cur).clone()
+				cand.Tables[ti].Rows = append(append([][]string(nil), rows[:start]...), rows[end:]...)
+				if s.accept(cur, cand) {
+					changed, removed = true, true
+					// keep start: the next chunk shifted into this slot
+				} else {
+					start = end
+				}
+			}
+			if !removed && chunk == 1 {
+				break
+			}
+			if !removed {
+				chunk /= 2
+			}
+		}
+	}
+	return changed
+}
+
+func (s *shrinker) shrinkFormula(cur **Case) bool {
+	changed := false
+	for ci := range (*cur).Constraints {
+		for {
+			f, err := logic.Parse((*cur).Constraints[ci].Source)
+			if err != nil {
+				break // unparseable source never reproduces; fails() guards anyway
+			}
+			reduced := false
+			for _, g := range formulaShrinks(f) {
+				cand := (*cur).clone()
+				cand.Constraints[ci].Source = g.String()
+				if s.accept(cur, cand) {
+					changed, reduced = true, true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+func (s *shrinker) shrinkDomainValues(cur **Case) bool {
+	changed := false
+	for di := range (*cur).Domains {
+		for vi := 0; vi < len((*cur).Domains[di].Values); {
+			vals := (*cur).Domains[di].Values
+			cand := (*cur).clone()
+			cand.Domains[di].Values = append(append([]string(nil), vals[:vi]...), vals[vi+1:]...)
+			if s.accept(cur, cand) {
+				changed = true
+			} else {
+				vi++
+			}
+		}
+	}
+	return changed
+}
+
+// formulaShrinks enumerates one-step structural reductions of a formula:
+// replace any subformula by a constant or by one of its children, drop
+// quantified variables, and shrink membership sets. Each result is strictly
+// smaller, so repeated application terminates.
+func formulaShrinks(f logic.Formula) []logic.Formula {
+	var out []logic.Formula
+	if _, ok := f.(logic.Truth); !ok {
+		out = append(out, logic.Truth{Value: true}, logic.Truth{Value: false})
+	}
+	switch g := f.(type) {
+	case logic.Not:
+		out = append(out, g.F)
+		for _, sf := range formulaShrinks(g.F) {
+			out = append(out, logic.Not{F: sf})
+		}
+	case logic.And:
+		out = append(out, g.L, g.R)
+		for _, sf := range formulaShrinks(g.L) {
+			out = append(out, logic.And{L: sf, R: g.R})
+		}
+		for _, sf := range formulaShrinks(g.R) {
+			out = append(out, logic.And{L: g.L, R: sf})
+		}
+	case logic.Or:
+		out = append(out, g.L, g.R)
+		for _, sf := range formulaShrinks(g.L) {
+			out = append(out, logic.Or{L: sf, R: g.R})
+		}
+		for _, sf := range formulaShrinks(g.R) {
+			out = append(out, logic.Or{L: g.L, R: sf})
+		}
+	case logic.Implies:
+		out = append(out, g.L, g.R)
+		for _, sf := range formulaShrinks(g.L) {
+			out = append(out, logic.Implies{L: sf, R: g.R})
+		}
+		for _, sf := range formulaShrinks(g.R) {
+			out = append(out, logic.Implies{L: g.L, R: sf})
+		}
+	case logic.Quant:
+		out = append(out, g.F)
+		if len(g.Vars) > 1 {
+			for i := range g.Vars {
+				vs := append(append([]string(nil), g.Vars[:i]...), g.Vars[i+1:]...)
+				out = append(out, logic.Quant{All: g.All, Vars: vs, F: g.F})
+			}
+		}
+		for _, sf := range formulaShrinks(g.F) {
+			out = append(out, logic.Quant{All: g.All, Vars: g.Vars, F: sf})
+		}
+	case logic.In:
+		if len(g.Values) > 1 {
+			for i := range g.Values {
+				vs := append(append([]string(nil), g.Values[:i]...), g.Values[i+1:]...)
+				out = append(out, logic.In{T: g.T, Values: vs})
+			}
+		}
+	}
+	return out
+}

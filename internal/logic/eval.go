@@ -859,6 +859,33 @@ func (ev *Evaluator) evalPredUncached(p Pred, ix *index.Index, binding PredBindi
 		return f, nil
 	}
 
+	// The pairs can be *chained*: a variable that claimed one of this
+	// index's own canonical blocks makes that block the target of one pair
+	// while another occurrence keeps it as the source of a second pair
+	// (c0→c2 alongside c2→scratch). The combined Replace substitutes
+	// simultaneously and stays correct, but per-block substitution — rename
+	// or equality bridge — is only equivalent while the pair's target block
+	// is absent from the BDD's support; run against a still-live target it
+	// computes the diagonal f(x,x) instead of the rename. Order the pairs so
+	// every target is vacated before it is reused; a cyclic arrangement (two
+	// blocks swapping) admits no such order and re-encodes the relation.
+	chained := false
+	{
+		srcs := make(map[*fdd.Domain]bool, len(from))
+		for _, d := range from {
+			srcs[d] = true
+		}
+		for _, d := range to {
+			if srcs[d] {
+				chained = true
+				break
+			}
+		}
+	}
+	if chained && !orderRenames(from, to) {
+		return ev.rebuildPred(p, env, binding)
+	}
+
 	// 4. Bind the remaining canonical blocks to the variable blocks.
 	if ev.opts.RenameJoin {
 		g, err := ev.renameBlocks(p, f, from, to)
@@ -899,7 +926,19 @@ func (ev *Evaluator) evalPredUncached(p Pred, ix *index.Index, binding PredBindi
 	}
 	// Naive strategy (§4.2 option 1, benchmarked as the ablation): conjoin
 	// every equality BDD, then quantify the canonical blocks out in one
-	// combined pass.
+	// combined pass. Chained pairs cannot share one pass — quantifying a
+	// source block that doubles as another pair's target would discard that
+	// binding — so they bridge one pair at a time in vacate-first order.
+	if chained {
+		for i := range from {
+			k.TempKeep(f)
+			f = k.AppEx(f, ev.eqVarCached(from[i], to[i]), bdd.OpAnd, from[i].Cube())
+			if f == bdd.Invalid {
+				return bdd.Invalid, ev.kerr()
+			}
+		}
+		return f, nil
+	}
 	k.TempKeep(f)
 	bridge := bdd.True
 	for i := range from {
@@ -937,6 +976,33 @@ func (ev *Evaluator) eqVarCached(a, b *fdd.Domain) bdd.Ref {
 	ev.store.Kernel().Protect(r)
 	ev.eqCache[key] = r
 	return r
+}
+
+// orderRenames reorders the (from, to) pairs in place so that no pair's
+// target block is the source of a later pair, and reports whether such an
+// order exists. It fails only when the pairs contain a cycle of blocks
+// renaming onto each other, which no sequential execution can realize.
+func orderRenames(from, to []*fdd.Domain) bool {
+	pending := make(map[*fdd.Domain]bool, len(from))
+	for _, d := range from {
+		pending[d] = true
+	}
+	for i := 0; i < len(from); i++ {
+		j := -1
+		for m := i; m < len(from); m++ {
+			if !pending[to[m]] {
+				j = m
+				break
+			}
+		}
+		if j < 0 {
+			return false
+		}
+		from[i], from[j] = from[j], from[i]
+		to[i], to[j] = to[j], to[i]
+		delete(pending, from[i])
+	}
+	return true
 }
 
 // renameBlocks applies the §4.2 rename strategy with an interned map.

@@ -1,11 +1,20 @@
 package logic
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+)
 
-// FuzzParse: the parser must never panic, and anything it accepts must
-// print to a form it accepts again (printing is a fixed point).
-func FuzzParse(f *testing.F) {
+// seedParseCorpus seeds the fuzzer with every grammar production the
+// repository actually exercises: hand-picked edge cases, the constraint
+// strings from the package's own tests, and every raw-string literal in the
+// examples (which embed their constraint programs as backtick literals).
+func seedParseCorpus(f *testing.F) {
 	for _, seed := range []string{
+		// Edge cases.
 		`forall x: P(x, "a") => exists y: Q(y) and R(x, y)`,
 		`x in {"a", "b"}`,
 		`not (P(x) or Q(x)) and true`,
@@ -13,9 +22,43 @@ func FuzzParse(f *testing.F) {
 		`constraint c: forall x: P(x).`,
 		`x != "v" => false`,
 		"(((((", "forall", `"unterminated`, "a=b=c", "# comment only",
+		// The round-trip suite from parse_test.go.
+		`P(x, "a")`,
+		`x = "v"`,
+		`x != y`,
+		`x in {"a", "b", "c"}`,
+		`not (P(x) or Q(x))`,
+		`forall x, y: (P(x) and Q(y)) or not R(x, y)`,
+		`exists x: P(x) => false`,
+		`true and false`,
+		`P(x) or Q(x) and R(x) => S(x)`,
+		`forall x: P(x) => Q(x)`,
+		`forall x: P(x, y) and (exists z: Q(z, w))`,
+		`P(x) and (forall x: Q(x))`,
+		`x = "a\"b"`,
 	} {
 		f.Add(seed)
 	}
+	// Example programs: every backtick literal is either a constraint file
+	// or a single formula; either way it is a grammar-shaped seed.
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	rawLit := regexp.MustCompile("(?s)`[^`]*`")
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		for _, lit := range rawLit.FindAllString(string(src), -1) {
+			f.Add(lit[1 : len(lit)-1])
+		}
+	}
+}
+
+// FuzzParse: the parser must never panic; anything it accepts must print to
+// a form it accepts again, the printed form must be a fixed point, and
+// re-parsing it must rebuild the *same AST* — printing loses nothing.
+func FuzzParse(f *testing.F) {
+	seedParseCorpus(f)
 	f.Fuzz(func(t *testing.T, src string) {
 		formula, err := Parse(src)
 		if err != nil {
@@ -29,15 +72,32 @@ func FuzzParse(f *testing.F) {
 		if again.String() != printed {
 			t.Fatalf("print not a fixed point: %q -> %q", printed, again.String())
 		}
+		if !reflect.DeepEqual(again, formula) {
+			t.Fatalf("re-parse changed the AST of %q:\n  first:  %#v\n  second: %#v", printed, formula, again)
+		}
 	})
 }
 
-// FuzzParseConstraints: the constraints-file parser must never panic.
+// FuzzParseConstraints: the constraints-file parser must never panic, and
+// each accepted constraint must satisfy the same round-trip law as Parse.
 func FuzzParseConstraints(f *testing.F) {
 	f.Add("constraint a: P(x).\nconstraint b: Q(y)")
 	f.Add("constraint")
 	f.Add("# nothing")
 	f.Fuzz(func(t *testing.T, src string) {
-		_, _ = ParseConstraints(src)
+		cs, err := ParseConstraints(src)
+		if err != nil {
+			return
+		}
+		for _, c := range cs {
+			printed := c.F.String()
+			again, err := Parse(printed)
+			if err != nil {
+				t.Fatalf("constraint %s: printed form %q does not re-parse: %v", c.Name, printed, err)
+			}
+			if !reflect.DeepEqual(again, c.F) {
+				t.Fatalf("constraint %s: re-parse changed the AST of %q", c.Name, printed)
+			}
+		}
 	})
 }

@@ -1,0 +1,232 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/fdd"
+)
+
+// rewrite_bdd_test.go checks the rewrite rules against the strongest
+// available oracle: BDDs are canonical, so two formulas over the same free
+// variables denote the same relation iff their BDDs share a root. bddSem
+// builds a formula's denotation directly from its model-theoretic semantics
+// — no evaluator shortcuts, every quantifier expanded over a guarded block —
+// so each rewrite rule can be asserted to preserve the *relation*, not just
+// truth under sampled bindings as TestRewritePreservesTruth does.
+
+// bddSem denotes formulas over a bruteEnv model as BDDs. Free variables get
+// one stable block per name (so two formulas with the same free variables
+// are comparable by root); bound variables use scratch blocks pooled by
+// quantifier nesting depth, which never appear in the final support.
+// Quantifiers are relativized with InDomain: a block of a size-3 domain has
+// four bit patterns, and the slot past the size encodes no value.
+type bddSem struct {
+	k       *bdd.Kernel
+	s       *fdd.Space
+	env     *bruteEnv
+	free    map[string]*fdd.Domain
+	scratch []*fdd.Domain
+}
+
+func newBDDSem(env *bruteEnv) *bddSem {
+	k := bdd.New(bdd.Config{Vars: 0})
+	return &bddSem{k: k, s: fdd.NewSpace(k), env: env, free: map[string]*fdd.Domain{}}
+}
+
+func (b *bddSem) freeBlock(name string) *fdd.Domain {
+	d, ok := b.free[name]
+	if !ok {
+		d = b.s.NewDomain("v_"+name, b.env.domSize)
+		b.free[name] = d
+	}
+	return d
+}
+
+func (b *bddSem) scratchBlock(depth int) *fdd.Domain {
+	for len(b.scratch) <= depth {
+		b.scratch = append(b.scratch, b.s.NewDomain(fmt.Sprintf("q%d", len(b.scratch)), b.env.domSize))
+	}
+	return b.scratch[depth]
+}
+
+// denote builds the BDD of f with free variables over their named blocks.
+func (b *bddSem) denote(f Formula) bdd.Ref {
+	return b.build(f, map[string]*fdd.Domain{}, 0)
+}
+
+func (b *bddSem) block(t Term, bind map[string]*fdd.Domain) *fdd.Domain {
+	v, ok := t.(Var)
+	if !ok {
+		panic("bddSem: only variable terms are modeled")
+	}
+	if d, ok := bind[v.Name]; ok {
+		return d
+	}
+	return b.freeBlock(v.Name)
+}
+
+func (b *bddSem) build(f Formula, bind map[string]*fdd.Domain, depth int) bdd.Ref {
+	k := b.k
+	switch g := f.(type) {
+	case Truth:
+		if g.Value {
+			return bdd.True
+		}
+		return bdd.False
+	case Pred:
+		// OR over the extension's rows of AND over per-position value
+		// tests. A variable repeated across positions lands both EqConst
+		// tests on one block, which accepts exactly the diagonal rows.
+		r := bdd.False
+		for row := range b.env.ext[g.Table] {
+			m := bdd.True
+			for i, a := range g.Args {
+				m = k.And(m, b.block(a, bind).EqConst(row[i]))
+			}
+			r = k.Or(r, m)
+		}
+		return r
+	case Eq:
+		return fdd.EqVar(b.block(g.L, bind), b.block(g.R, bind))
+	case Neq:
+		return k.Not(fdd.EqVar(b.block(g.L, bind), b.block(g.R, bind)))
+	case Not:
+		return k.Not(b.build(g.F, bind, depth))
+	case And:
+		return k.And(b.build(g.L, bind, depth), b.build(g.R, bind, depth))
+	case Or:
+		return k.Or(b.build(g.L, bind, depth), b.build(g.R, bind, depth))
+	case Implies:
+		return k.Imp(b.build(g.L, bind, depth), b.build(g.R, bind, depth))
+	case Quant:
+		blocks := make([]*fdd.Domain, len(g.Vars))
+		saved := make([]*fdd.Domain, len(g.Vars))
+		had := make([]bool, len(g.Vars))
+		for i, v := range g.Vars {
+			blocks[i] = b.scratchBlock(depth + i)
+			saved[i], had[i] = bind[v]
+			bind[v] = blocks[i]
+		}
+		inner := b.build(g.F, bind, depth+len(g.Vars))
+		for i, v := range g.Vars {
+			if had[i] {
+				bind[v] = saved[i]
+			} else {
+				delete(bind, v)
+			}
+		}
+		guard := bdd.True
+		for _, d := range blocks {
+			guard = k.And(guard, d.InDomain())
+		}
+		if g.All {
+			return fdd.Forall(k.Imp(guard, inner), blocks...)
+		}
+		return fdd.Exists(k.And(guard, inner), blocks...)
+	default:
+		panic(fmt.Sprintf("bddSem: unsupported formula %T", f))
+	}
+}
+
+// sameRoot asserts two formulas denote the same relation in the model.
+func sameRoot(t *testing.T, sem *bddSem, label string, a, b Formula) {
+	t.Helper()
+	ra, rb := sem.denote(a), sem.denote(b)
+	if ra != rb {
+		t.Fatalf("%s changed the denoted relation:\n  before: %s\n  after:  %s", label, a, b)
+	}
+}
+
+// TestRewriteRulesBDDTable pins each rewrite rule on a hand-picked formula:
+// the transformed formula must build the identical BDD root.
+func TestRewriteRulesBDDTable(t *testing.T) {
+	// NNF and PushForall require implication-free input, so those entries
+	// use sources without "=>".
+	cases := []struct {
+		name  string
+		src   string
+		xform func(Formula) Formula
+	}{
+		{"elim-implies", `P(x, y) => Q(x, y, z)`, ElimImplies},
+		{"elim-implies-nested", `(P(x, x) => Q(x, y, y)) => P(y, x)`, ElimImplies},
+		{"nnf-demorgan-and", `not (P(x, y) and Q(x, y, z))`, NNF},
+		{"nnf-demorgan-or", `not (P(x, y) or not Q(z, z, z))`, NNF},
+		{"nnf-double-negation", `not not P(x, y)`, NNF},
+		{"nnf-forall-flip", `not (forall v: P(v, x))`, NNF},
+		{"nnf-exists-flip", `not (exists v: P(v, x) and Q(v, x, x))`, NNF},
+		{"standardize-apart", `(forall v: P(v, x)) and (forall v: Q(v, v, x))`, StandardizeApart},
+		{"standardize-apart-shadow", `P(v, v) or (exists v: P(v, x))`, StandardizeApart},
+		{"push-forall-and", `forall v: P(v, x) and Q(v, v, x)`, PushForall},
+		{"push-forall-or-miniscope", `forall v: P(v, x) or Q(x, x, y)`, PushForall},
+		{"push-forall-vacuous", `forall v: P(x, y)`, PushForall},
+		{"prenex", `(forall v: P(v, x)) and (exists w: Q(w, x, y) or P(w, w))`,
+			func(f Formula) Formula { return BuildPrefix(Prenex(f)) }},
+	}
+	env := randEnv(rand.New(rand.NewSource(99)), 3)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sem := newBDDSem(env)
+			f := mustParse(t, c.src)
+			sameRoot(t, sem, c.name, f, c.xform(f))
+		})
+	}
+}
+
+// TestRewriteRulesBDDRandom drives the whole normalization chain over
+// random open formulas, asserting root preservation after every stage.
+func TestRewriteRulesBDDRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	vars := []string{"x", "y", "z"}
+	for trial := 0; trial < 120; trial++ {
+		env := randEnv(rng, 3)
+		sem := newBDDSem(env)
+		f := randFormula(rng, vars, 3)
+		ei := ElimImplies(f)
+		sameRoot(t, sem, "ElimImplies", f, ei)
+		n := NNF(ei)
+		sameRoot(t, sem, "NNF", ei, n)
+		sa := StandardizeApart(n)
+		sameRoot(t, sem, "StandardizeApart", n, sa)
+		sameRoot(t, sem, "PushForall", sa, PushForall(sa))
+		sameRoot(t, sem, "Prenex/BuildPrefix", sa, BuildPrefix(Prenex(sa)))
+	}
+}
+
+// TestRewriteModesMatchBDD closes random formulas and checks the full
+// Rewrite output under every option combination: re-quantifying the body
+// over the stripped variables per the reported mode must reproduce the
+// sentence's truth value, both against the BDD denotation and brute force.
+func TestRewriteModesMatchBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	vars := []string{"x", "y", "z"}
+	optsList := []RewriteOptions{
+		{Prenex: true, PushForall: true},
+		{Prenex: true, PushForall: false},
+		{Prenex: false, PushForall: true},
+		{Prenex: false, PushForall: false},
+	}
+	for trial := 0; trial < 120; trial++ {
+		env := randEnv(rng, 3)
+		f := closeFormula(randFormula(rng, vars, 3))
+		want := env.sentenceTruth(f)
+		for _, opts := range optsList {
+			sem := newBDDSem(env)
+			rw := Rewrite(f, opts)
+			reclosed := Formula(rw.Body)
+			if len(rw.Stripped) > 0 {
+				reclosed = Quant{All: rw.Mode == CheckValidity, Vars: rw.Stripped, F: rw.Body}
+			}
+			r := sem.denote(reclosed)
+			if r != bdd.True && r != bdd.False {
+				t.Fatalf("trial %d opts %+v: reclosed sentence not constant: %s", trial, opts, reclosed)
+			}
+			if got := r == bdd.True; got != want {
+				t.Fatalf("trial %d opts %+v: BDD says %v, brute force says %v\nformula: %s\nbody: %s (mode %v, stripped %v)",
+					trial, opts, got, want, f, rw.Body, rw.Mode, rw.Stripped)
+			}
+		}
+	}
+}

@@ -179,6 +179,21 @@ func (c *compiler) translate(f logic.Formula) (Plan, error) {
 	}
 }
 
+// freeVarsOfAll unions the free variables of fs in first-occurrence order.
+func freeVarsOfAll(fs []logic.Formula) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, f := range fs {
+		for _, v := range logic.FreeVars(f) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
 func flattenAnd(f logic.Formula) []logic.Formula {
 	if a, ok := f.(logic.And); ok {
 		return append(flattenAnd(a.L), flattenAnd(a.R)...)
@@ -200,7 +215,19 @@ func (c *compiler) translateAnd(conjuncts []logic.Formula) (Plan, error) {
 			comparisons = append(comparisons, f)
 		case logic.Truth:
 			if !g.Value {
-				return Empty{}, nil
+				// Short-circuit, but keep the invariant that a subformula's
+				// plan produces exactly its free variables: an enclosing
+				// Project or Diff still addresses the conjunction's columns.
+				cols := freeVarsOfAll(conjuncts)
+				doms := make([]*relation.Domain, len(cols))
+				for i, v := range cols {
+					d, err := c.domainOf(v)
+					if err != nil {
+						return nil, err
+					}
+					doms[i] = d
+				}
+				return Empty{Cols: cols, Doms: doms}, nil
 			}
 		case logic.Quant:
 			if g.All {

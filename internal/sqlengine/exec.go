@@ -639,14 +639,25 @@ func (Unit) Run() (*Rows, error) {
 func (Unit) SQL() string { return "SELECT 1" }
 
 // Empty is the zero-column empty relation (the translation of "false").
-type Empty struct{ Cols []string }
+type Empty struct {
+	Cols []string
+	// Doms carries the value domains of Cols; consumers like Union take
+	// column metadata from whichever side they visit first, so an Empty
+	// standing in for a short-circuited subformula must still describe its
+	// columns fully.
+	Doms []*relation.Domain
+}
 
 // Vars implements Plan.
 func (e Empty) Vars() []string { return e.Cols }
 
 // Run implements Plan.
 func (e Empty) Run() (*Rows, error) {
-	return &Rows{Vars: e.Cols, Doms: make([]*relation.Domain, len(e.Cols))}, nil
+	doms := e.Doms
+	if len(doms) != len(e.Cols) {
+		doms = make([]*relation.Domain, len(e.Cols))
+	}
+	return &Rows{Vars: e.Cols, Doms: doms}, nil
 }
 
 // SQL implements Plan.

@@ -1,0 +1,97 @@
+// Command cvlint is the repository's domain-specific static analysis suite.
+//
+// It enforces the contracts of the BDD kernel that Go's type system cannot
+// express (see DESIGN.md, "Static contracts"):
+//
+//	sentinelcmp  errors.Is for wrapped sentinel errors, never == / !=
+//	tempmark     TempMark/TempRelease paired on all paths; Protect balanced
+//	kernelmix    no bdd.Ref crosses kernels except through CopyTo
+//	stickyerr    allocating kernel ops are followed by an error consult
+//
+// cvlint is usable two ways:
+//
+//	cvlint [packages]              standalone: drives `go vet -vettool` on
+//	                               the given packages (default ./...)
+//	go vet -vettool=$(which cvlint) ./...
+//	                               as a vet tool, the canonical CI form
+//
+// Both forms run the same analyzers over type-checked packages; the
+// standalone form simply re-executes itself through `go vet`, which supplies
+// type information for every package from the build cache. Suppress a
+// deliberate exception with a justified directive on or above the line:
+//
+//	//lint:ignore tempmark kernel dies with this function; pin is intentional
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/kernelmix"
+	"repro/internal/analysis/sentinelcmp"
+	"repro/internal/analysis/stickyerr"
+	"repro/internal/analysis/tempmark"
+	"repro/internal/analysis/unitchecker"
+)
+
+// Suite is the full cvlint analyzer set, in reporting order.
+var suite = []*analysis.Analyzer{
+	sentinelcmp.Analyzer,
+	tempmark.Analyzer,
+	kernelmix.Analyzer,
+	stickyerr.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// Vet-tool protocol invocations come from cmd/go and are exactly one
+	// argument; everything else is the human-facing standalone form.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full", args[0] == "-flags", filepath.Ext(args[0]) == ".cfg":
+			unitchecker.Main("cvlint", suite)
+			return
+		case args[0] == "help", args[0] == "-h", args[0] == "--help":
+			usage()
+			return
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Printf("cvlint: static analysis for this repository's BDD-kernel contracts\n\nAnalyzers:\n")
+	for _, a := range suite {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Printf("\nUsage:\n  cvlint [packages]    (default ./...)\n  go vet -vettool=$(which cvlint) [packages]\n")
+}
+
+// standalone re-executes cvlint through `go vet -vettool=self`: cmd/go
+// loads, compiles and describes each package, then calls back into the
+// unitchecker protocol above with full type information.
+func standalone(pkgs []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, pkgs...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "cvlint: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,254 @@
+// Package kernelmix flags BDD handles crossing kernel boundaries.
+//
+// A bdd.Ref is a plain int32 index into the node table of the kernel that
+// minted it; handed to a different kernel it silently denotes an unrelated
+// node (or walks off the table). Since the replica read pool (PR 2) gave the
+// process several kernels per request path — a primary plus N replicas, with
+// bdd.CopyTo as the only sanctioned bridge — mixing them up is a live
+// hazard that the type system cannot see: every Ref has the same type.
+//
+// The analyzer runs a per-function forward dataflow in statement order: each
+// Ref-typed local is tagged with the kernel expression that minted it (a
+// direct kernel method call, a copy of a tagged value, or an element of a
+// CopyTo result slice, which is minted by the *destination* kernel). A
+// tagged Ref passed to a method of a provably different kernel is reported.
+// Two kernel expressions are "provably different" only when both normalize
+// to stable access paths (identifiers, field chains, call chains without
+// arguments) with distinct spellings rooted at distinct objects — unknown or
+// aliasing-prone receivers stay silent, trading recall for a near-zero
+// false-positive rate.
+package kernelmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the kernelmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "kernelmix",
+	Doc: "flags bdd.Ref values minted by one kernel and passed to a method of another " +
+		"without going through CopyTo",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// origin identifies the kernel an expression was minted by.
+type origin struct {
+	key string // normalized kernel access path ("k", "s.kernel", "p.Kernel()")
+	obj types.Object
+}
+
+type tracker struct {
+	pass *analysis.Pass
+	// refOrigin tags Ref-typed locals; sliceOrigin tags []Ref locals whose
+	// elements all come from one kernel (CopyTo results); kernelAlias maps
+	// kernel-typed locals to the access path they alias (k := s.kernel), so
+	// aliased spellings of one kernel are never reported against each other.
+	refOrigin   map[types.Object]origin
+	sliceOrigin map[types.Object]origin
+	kernelAlias map[types.Object]origin
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tr := &tracker{
+		pass:        pass,
+		refOrigin:   map[types.Object]origin{},
+		sliceOrigin: map[types.Object]origin{},
+		kernelAlias: map[types.Object]origin{},
+	}
+	// Statement-order walk: assignments update the tag map, kernel method
+	// calls are checked against it. Nested function literals are walked by
+	// the caller as their own functions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			tr.assign(n)
+		case *ast.CallExpr:
+			tr.checkCall(n)
+		}
+		return true
+	})
+}
+
+func (tr *tracker) info() *types.Info { return tr.pass.TypesInfo }
+
+// kernelKey normalizes a kernel-typed expression to a stable access path,
+// resolving in-function aliases (k := s.kernel). The bool result is false
+// for expressions that cannot be compared (calls with arguments, index
+// expressions, arbitrary computation).
+func (tr *tracker) kernelKey(e ast.Expr) (origin, bool) {
+	info := tr.info()
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if obj == nil {
+			return origin{}, false
+		}
+		if o, ok := tr.kernelAlias[obj]; ok {
+			return o, true
+		}
+		return origin{key: e.Name, obj: obj}, true
+	case *ast.ParenExpr:
+		return tr.kernelKey(e.X)
+	case *ast.SelectorExpr:
+		base, ok := tr.kernelKey(e.X)
+		if !ok {
+			return origin{}, false
+		}
+		return origin{key: base.key + "." + e.Sel.Name, obj: base.obj}, true
+	case *ast.CallExpr:
+		// Zero-argument accessor chains (store.Kernel(), p.Primary().Kernel())
+		// are stable enough to compare by spelling.
+		if len(e.Args) != 0 {
+			return origin{}, false
+		}
+		base, ok := tr.kernelKey(e.Fun)
+		if !ok {
+			return origin{}, false
+		}
+		return origin{key: base.key + "()", obj: base.obj}, true
+	}
+	return origin{}, false
+}
+
+// exprOrigin computes the minting kernel of a Ref-typed expression, if known.
+func (tr *tracker) exprOrigin(e ast.Expr) (origin, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o, ok := tr.refOrigin[tr.info().ObjectOf(e)]; ok {
+			return o, true
+		}
+	case *ast.ParenExpr:
+		return tr.exprOrigin(e.X)
+	case *ast.CallExpr:
+		if recv, _, ok := analysis.KernelMethod(tr.info(), e); ok {
+			if tv, ok := tr.info().Types[e]; ok && analysis.IsRef(tv.Type) {
+				return tr.kernelKey(recv)
+			}
+		}
+	case *ast.IndexExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if o, ok := tr.sliceOrigin[tr.info().ObjectOf(id)]; ok {
+				return o, true
+			}
+		}
+	}
+	return origin{}, false
+}
+
+// assign propagates kernel tags through the statement.
+func (tr *tracker) assign(as *ast.AssignStmt) {
+	// adopted, err := src.CopyTo(dst, roots...): the result slice is minted
+	// by dst — the one sanctioned way to move a Ref between kernels.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if _, name, isK := analysis.KernelMethod(tr.info(), call); isK && name == "CopyTo" && len(call.Args) >= 1 {
+				if dst, ok := tr.kernelKey(call.Args[0]); ok && len(as.Lhs) >= 1 {
+					if id, isID := as.Lhs[0].(*ast.Ident); isID {
+						if obj := tr.info().ObjectOf(id); obj != nil {
+							tr.sliceOrigin[obj] = dst
+						}
+					}
+				}
+				return
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := tr.info().ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if tv, ok := tr.info().Types[as.Rhs[i]]; ok && analysis.IsKernelPtr(tv.Type) {
+			// k := s.kernel — record the alias so both spellings compare equal.
+			if o, ok := tr.kernelKey(as.Rhs[i]); ok {
+				tr.kernelAlias[obj] = o
+			} else {
+				delete(tr.kernelAlias, obj)
+			}
+			continue
+		}
+		if o, ok := tr.exprOrigin(as.Rhs[i]); ok {
+			tr.refOrigin[obj] = o
+		} else {
+			// Overwritten with something untracked: drop a stale tag.
+			delete(tr.refOrigin, obj)
+			delete(tr.sliceOrigin, obj)
+		}
+	}
+}
+
+// checkCall reports tagged Refs passed to a method of a different kernel.
+func (tr *tracker) checkCall(call *ast.CallExpr) {
+	recv, name, ok := analysis.KernelMethod(tr.info(), call)
+	if !ok {
+		return
+	}
+	callee, ok := tr.kernelKey(recv)
+	if !ok {
+		return
+	}
+	if name == "CopyTo" {
+		// Roots belong to the source (receiver) kernel; the destination
+		// argument is a kernel, not a Ref. Both sides are exactly the
+		// adoption bridge this analyzer pushes mixed flows toward.
+		return
+	}
+	for _, a := range call.Args {
+		if tv, ok := tr.info().Types[a]; !ok || !analysis.IsRef(tv.Type) {
+			continue
+		}
+		o, known := tr.exprOrigin(a)
+		if !known {
+			continue
+		}
+		if o.key == callee.key && o.obj == callee.obj {
+			continue
+		}
+		if o.obj == callee.obj && o.key != callee.key {
+			// Same root object reached through different paths (k vs k.sub):
+			// cannot prove distinctness.
+			continue
+		}
+		if o.obj != callee.obj && sameSpelling(o.key, callee.key) {
+			continue
+		}
+		tr.pass.Reportf(a.Pos(),
+			"Ref minted by kernel %q passed to method %s of kernel %q; cross-kernel handles are only valid through CopyTo",
+			o.key, name, callee.key)
+	}
+}
+
+// sameSpelling guards against distinct objects that still denote the same
+// kernel access path in different scopes (rare; stay silent).
+func sameSpelling(a, b string) bool { return a == b }

@@ -1,0 +1,12 @@
+package kernelmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kernelmix"
+)
+
+func TestKernelMix(t *testing.T) {
+	analysistest.Run(t, "../testdata", kernelmix.Analyzer, "kernelmixes")
+}

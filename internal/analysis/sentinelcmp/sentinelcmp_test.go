@@ -1,0 +1,12 @@
+package sentinelcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sentinelcmp"
+)
+
+func TestSentinelCmp(t *testing.T) {
+	analysistest.Run(t, "../testdata", sentinelcmp.Analyzer, "sentinel")
+}

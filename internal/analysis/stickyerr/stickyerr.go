@@ -1,0 +1,139 @@
+// Package stickyerr checks that the kernel's sticky error is consulted.
+//
+// Allocating kernel operations (And, Or, Exists, AppEx, Replace, MakeNode,
+// ...) do not return an error: a budget abort yields bdd.Invalid and latches
+// Kernel.Err, and Invalid propagates through further operations, so a chain
+// needs only one check at the end. The contract the type system cannot
+// enforce is that the chain *has* an end: some function in the flow must
+// consult Kernel.Err(), compare against bdd.Invalid, or test the sentinel
+// with errors.Is before the result is consumed.
+//
+// The analyzer flags allocating calls in non-test files whose enclosing
+// function terminates a chain — its signature returns neither a bdd.Ref nor
+// an error, so no caller can possibly perform the check — while the function
+// body performs no check either. Functions that pass a Ref or an error up
+// keep the responsibility with their callers, the same split the bdd package
+// documentation prescribes.
+package stickyerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the stickyerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "stickyerr",
+	Doc: "flags allocating kernel operations in functions that neither consult Kernel.Err(), " +
+		"compare against bdd.Invalid, nor propagate a Ref or error to their caller",
+	Run: run,
+}
+
+// allocOps are the kernel operations that can allocate nodes and therefore
+// abort with ErrBudget, returning Invalid.
+var allocOps = map[string]bool{
+	"And": true, "Or": true, "Xor": true, "Diff": true, "Imp": true,
+	"Biimp": true, "Not": true, "ITE": true,
+	"Exists": true, "Forall": true, "AppEx": true, "AppAll": true,
+	"Replace": true, "Restrict": true,
+	"MakeNode": true, "Cube": true, "Minterm": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			// Tests assert on concrete values and fail loudly; the
+			// production contract targets non-test code.
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd)
+			return false // function literals inherit the enclosing check
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if propagatesToCaller(pass, fd) {
+		return
+	}
+	var firstAlloc *ast.CallExpr
+	var firstName string
+	consults := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, name, ok := analysis.KernelMethod(pass.TypesInfo, n); ok {
+				if name == "Err" {
+					consults = true
+				}
+				if allocOps[name] && firstAlloc == nil {
+					firstAlloc, firstName = n, name
+				}
+			}
+			if isErrorsIs(pass, n) {
+				consults = true
+			}
+		case *ast.BinaryExpr:
+			if (n.Op == token.EQL || n.Op == token.NEQ || n.Op == token.LSS) &&
+				(isInvalidRef(pass, n.X) || isInvalidRef(pass, n.Y)) {
+				consults = true
+			}
+		}
+		return !consults
+	})
+	if firstAlloc != nil && !consults {
+		pass.Reportf(firstAlloc.Pos(),
+			"allocating kernel op %s in a function that neither consults Kernel.Err(), checks bdd.Invalid, "+
+				"nor returns a Ref or error; a budget abort would go unnoticed", firstName)
+	}
+}
+
+// propagatesToCaller reports whether the function's results keep the error
+// check with the caller: any bdd.Ref result (Invalid propagates) or any
+// error result (the kernel error can be surfaced through it).
+func propagatesToCaller(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, fld := range fd.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[fld.Type]
+		if !ok {
+			continue
+		}
+		if analysis.IsRef(tv.Type) || analysis.IsRefSlice(tv.Type) || analysis.IsErrorType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorsIs matches errors.Is(...) calls.
+func isErrorsIs(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "errors"
+}
+
+// isInvalidRef matches references to the bdd.Invalid constant.
+func isInvalidRef(pass *analysis.Pass, e ast.Expr) bool {
+	obj := analysis.ObjectOf(pass.TypesInfo, e)
+	return obj != nil && obj.Name() == "Invalid" && obj.Pkg() != nil && obj.Pkg().Name() == "bdd"
+}

@@ -1,0 +1,12 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stickyerr"
+)
+
+func TestStickyErr(t *testing.T) {
+	analysistest.Run(t, "../testdata", stickyerr.Analyzer, "stickyerrs")
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be silenced with a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// placed either on the line of the finding (trailing comment) or on the line
+// directly above it. The justification is mandatory: a directive without one
+// does not suppress anything and instead produces its own diagnostic, so
+// every deliberate exception to a contract carries its reason in the source.
+const directivePrefix = "//lint:ignore "
+
+type directive struct {
+	analyzers []string // analyzer names the directive covers
+	just      string   // justification text (may be empty; then invalid)
+	pos       token.Pos
+	line      int
+	file      string
+	used      bool
+}
+
+// parseDirectives extracts every lint:ignore directive from the files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var ds []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				names, just := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					names, just = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				p := fset.Position(c.Pos())
+				ds = append(ds, &directive{
+					analyzers: strings.Split(names, ","),
+					just:      just,
+					pos:       c.Pos(),
+					line:      p.Line,
+					file:      p.Filename,
+					used:      false,
+				})
+			}
+		}
+	}
+	return ds
+}
+
+func (d *directive) covers(name string, file string, line int) bool {
+	if d.file != file || (d.line != line && d.line != line-1) {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions drops diagnostics covered by a well-formed directive and
+// appends a diagnostic for each malformed (justification-free) directive.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ds := parseDirectives(fset, files)
+	if len(ds) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		p := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range ds {
+			if !d.covers(diag.Analyzer, p.Filename, p.Line) {
+				continue
+			}
+			if d.just == "" {
+				// An unjustified directive suppresses nothing; the
+				// directive diagnostic below explains why the finding
+				// is still live.
+				continue
+			}
+			d.used = true
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	for _, d := range ds {
+		if d.just == "" {
+			kept = append(kept, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "lintdirective",
+				Message:  "lint:ignore directive needs a justification: //lint:ignore <analyzer> <why this exception is sound>",
+			})
+		}
+	}
+	return kept
+}

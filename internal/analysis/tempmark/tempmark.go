@@ -1,0 +1,436 @@
+// Package tempmark checks the kernel's root-pinning discipline.
+//
+// The BDD kernel's garbage collector can run at any operation boundary and
+// frees every node that is not a pinned root, a temp root, or an operand of
+// the in-flight operation. Two pinning APIs exist, each with a pairing
+// contract Go's type system cannot express:
+//
+//   - mark := k.TempMark() ... k.TempRelease(mark): the release must happen
+//     on every path out of the function — including early returns and
+//     panicking branches — or the temp-root stack grows monotonically and
+//     superseded intermediates are never collected.
+//   - k.Protect(f) ... k.Unprotect(f): every pin must be balanced, unless
+//     ownership of the pin is transferred to a longer-lived structure (an
+//     index store, a snapshot), which must be stated in a comment.
+//
+// tempmark proves the first contract with a structural all-paths analysis
+// over the function body (an abstract walk of the statement tree tracking
+// released/deferred state across branches, loops and switches), and checks
+// the second with an escape heuristic: a Protect whose argument neither gets
+// an in-function Unprotect nor visibly escapes (returned, stored into a
+// field, passed to a non-kernel call) is flagged unless an "ownership:"
+// comment documents the transfer.
+//
+// Functions containing goto are skipped: the structural walk cannot bound
+// their control flow, and the repository does not use goto on kernel paths.
+package tempmark
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tempmark analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "tempmark",
+	Doc: "checks that every Kernel.TempMark is paired with TempRelease(mark) on all paths " +
+		"and every Protect has a matching Unprotect or a documented ownership transfer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			fn := &funcCheck{pass: pass, body: body, file: f}
+			fn.check()
+			return true // also descend into nested function literals
+		})
+	}
+	return nil
+}
+
+type funcCheck struct {
+	pass *analysis.Pass
+	body *ast.BlockStmt
+	file *ast.File
+}
+
+func (fc *funcCheck) check() {
+	if hasGoto(fc.body) {
+		return
+	}
+	for _, mark := range fc.markVars() {
+		w := &walker{fc: fc, mark: mark}
+		st, terminated := w.stmtList(fc.body.List, state{})
+		if !terminated {
+			// Fall-off-the-end is an implicit return.
+			w.exit(st, fc.body.Rbrace)
+		}
+	}
+	fc.checkProtect()
+}
+
+// markVars finds the local variables bound to k.TempMark() results in this
+// function body, excluding nested function literals (those are checked as
+// their own functions).
+func (fc *funcCheck) markVars() []types.Object {
+	var out []types.Object
+	inspectShallow(fc.body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if !fc.isTempMarkCall(as.Rhs[0]) {
+			return
+		}
+		if obj := fc.pass.TypesInfo.ObjectOf(id); obj != nil {
+			out = append(out, obj)
+		}
+	})
+	return out
+}
+
+func (fc *funcCheck) isTempMarkCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, name, ok := analysis.KernelMethod(fc.pass.TypesInfo, call)
+	return ok && name == "TempMark"
+}
+
+// isReleaseOf reports whether e is a call k.TempRelease(mark) for this mark.
+func isReleaseOf(info *types.Info, e ast.Expr, mark types.Object) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	_, name, ok := analysis.KernelMethod(info, call)
+	if !ok || name != "TempRelease" || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return ok && info.ObjectOf(id) == mark
+}
+
+// state is the abstract per-path state for one mark variable.
+type state struct {
+	started  bool // the TempMark assignment has executed on this path
+	released bool // a TempRelease(mark) has executed since
+	deferred bool // a defer guaranteeing TempRelease(mark) is registered
+}
+
+func mergeBranch(a, b state) state {
+	return state{
+		started:  a.started || b.started,
+		released: a.released && b.released,
+		deferred: a.deferred && b.deferred,
+	}
+}
+
+type walker struct {
+	fc   *funcCheck
+	mark types.Object
+}
+
+func (w *walker) info() *types.Info { return w.fc.pass.TypesInfo }
+
+// exit checks one function exit (return, panic, or fall-off-end).
+func (w *walker) exit(st state, pos token.Pos) {
+	if st.started && !st.released && !st.deferred {
+		w.fc.pass.Reportf(pos, "function exits without TempRelease(%s) for the TempMark on line %d; release on every path or use defer",
+			w.mark.Name(), w.fc.pass.Fset.Position(w.mark.Pos()).Line)
+	}
+}
+
+// stmtList walks a statement list; the bool result reports whether control
+// cannot fall through to the statement after the list.
+func (w *walker) stmtList(list []ast.Stmt, st state) (state, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmtList(s.List, st)
+
+	case *ast.AssignStmt:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && w.info().ObjectOf(id) == w.mark {
+				if w.fc.isTempMarkCall(s.Rhs[0]) {
+					// (Re-)arming the mark: the fresh mark needs its own release.
+					return state{started: true, deferred: st.deferred}, false
+				}
+				// The variable was repurposed; stop tracking this path.
+				return state{deferred: st.deferred}, false
+			}
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		if isReleaseOf(w.info(), s.X, w.mark) {
+			st.released = true
+			return st, false
+		}
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltinPanic(w.info(), call) {
+			// A panicking branch is a function exit: only a registered
+			// defer (or an already-executed release) covers it.
+			w.exit(st, s.Pos())
+			return st, true
+		}
+		return st, false
+
+	case *ast.DeferStmt:
+		if isReleaseOf(w.info(), s.Call, w.mark) {
+			st.deferred = true
+			return st, false
+		}
+		// defer func() { ...; k.TempRelease(mark); ... }()
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			found := false
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok && isReleaseOf(w.info(), e, w.mark) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				st.deferred = true
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		w.exit(st, s.Pos())
+		return st, true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		thenSt, thenTerm := w.stmtList(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeBranch(thenSt, elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		bodySt, _ := w.stmtList(s.Body.List, st) // exits inside are checked
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// for {} without break never falls through.
+			return st, true
+		}
+		if s.Cond == nil {
+			// for {} that only leaves via break: the break paths carry the
+			// body's effects; merge them with the entry state conservatively.
+			return mergeBranch(st, bodySt), false
+		}
+		// The body may run zero times: its releases do not count after the loop.
+		return st, false
+
+	case *ast.RangeStmt:
+		w.stmtList(s.Body.List, st)
+		return st, false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.switchLike(s, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue leave this statement list; goto was excluded up
+		// front; fallthrough transfers into the next case, which is walked
+		// with the clause entry state.
+		if s.Tok == token.FALLTHROUGH {
+			return st, false
+		}
+		return st, true
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				if w.info().ObjectOf(vs.Names[0]) == w.mark && w.fc.isTempMarkCall(vs.Values[0]) {
+					return state{started: true, deferred: st.deferred}, false
+				}
+			}
+		}
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+// switchLike merges the clause bodies of a switch/type-switch/select. A
+// clause set without a default also admits the fall-past path, which keeps
+// the entry state.
+func (w *walker) switchLike(s ast.Stmt, st state) (state, bool) {
+	var body *ast.BlockStmt
+	var init ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body, init = s.Body, s.Init
+	case *ast.TypeSwitchStmt:
+		body, init = s.Body, s.Init
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if init != nil {
+		st, _ = w.stmt(init, st)
+	}
+	merged := state{}
+	first := true
+	allTerm := true
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			stmts = cs.Body
+			if cs.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cs.Body
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+		}
+		cSt, cTerm := w.stmtList(stmts, st)
+		if cTerm {
+			continue
+		}
+		allTerm = false
+		if first {
+			merged, first = cSt, false
+		} else {
+			merged = mergeBranch(merged, cSt)
+		}
+	}
+	if !hasDefault {
+		// No default: the tag may match nothing and fall past.
+		if first {
+			return st, false
+		}
+		return mergeBranch(merged, st), false
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if first {
+		return st, false
+	}
+	return merged, false
+}
+
+func isBuiltinPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasBreak reports whether body contains an unlabeled break that exits the
+// enclosing loop (breaks bound to nested loops, switches and selects do not
+// count; a labeled break is conservatively counted).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // their breaks bind inward
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			// An unlabeled break inside binds to the switch; a labeled one
+			// may exit our loop — conservatively scan for labeled breaks only.
+			ast.Inspect(n, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BranchStmt); ok && b.Tok == token.BREAK && b.Label != nil {
+					found = true
+				}
+				return !found
+			})
+			return false
+		}
+		return true
+	}
+	for _, s := range body.List {
+		ast.Inspect(s, scan)
+	}
+	return found
+}
+
+// inspectShallow visits nodes of body without descending into nested
+// function literals.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

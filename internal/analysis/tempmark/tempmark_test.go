@@ -1,0 +1,12 @@
+package tempmark_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tempmark"
+)
+
+func TestTempMark(t *testing.T) {
+	analysistest.Run(t, "../testdata", tempmark.Analyzer, "tempmarks", "protects")
+}

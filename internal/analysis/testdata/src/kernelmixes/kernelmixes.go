@@ -1,0 +1,54 @@
+// Package kernelmixes exercises the kernelmix analyzer: Refs minted by one
+// kernel must not reach methods of another, except through CopyTo.
+package kernelmixes
+
+import "repro/internal/bdd"
+
+type store struct {
+	kernel *bdd.Kernel
+}
+
+// badCross mints a Ref on k1 and hands it to k2.
+func badCross(k1, k2 *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	r := k1.And(f, g)
+	return k2.Not(r) // want `Ref minted by kernel "k1" passed to method Not of kernel "k2"`
+}
+
+// badCrossViaCopy propagates the tag through a plain copy.
+func badCrossViaCopy(k1, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := k1.Not(f)
+	s := r
+	return k2.Not(s) // want `Ref minted by kernel "k1" passed to method Not of kernel "k2"`
+}
+
+// badCrossField mints on a field-held kernel and hands to a parameter kernel.
+func badCrossField(st *store, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := st.kernel.Not(f)
+	return k2.Not(r) // want `Ref minted by kernel "st.kernel" passed to method Not of kernel "k2"`
+}
+
+// goodSameKernel keeps the Ref on the kernel that minted it.
+func goodSameKernel(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	r := k.And(f, g)
+	return k.Not(r)
+}
+
+// goodCopyTo is the sanctioned bridge: the result slice is minted by the
+// destination kernel, so using its elements on dst is fine, and passing the
+// source-minted root to CopyTo itself is fine too.
+func goodCopyTo(src, dst *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := src.Not(f)
+	adopted, err := src.CopyTo(dst, r)
+	if err != nil {
+		return bdd.Invalid
+	}
+	return dst.Not(adopted[0])
+}
+
+// goodAlias mints through a local alias of a field-held kernel and uses the
+// field spelling afterwards; both denote the same kernel.
+func goodAlias(st *store, f, g bdd.Ref) bdd.Ref {
+	k := st.kernel
+	r := k.And(f, g)
+	return st.kernel.Not(r)
+}

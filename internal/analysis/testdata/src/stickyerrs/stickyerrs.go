@@ -1,0 +1,58 @@
+// Package stickyerrs exercises the stickyerr analyzer: allocating kernel
+// operations in a chain-terminating function require an error consultation.
+package stickyerrs
+
+import (
+	"errors"
+
+	"repro/internal/bdd"
+)
+
+// badSink allocates, returns nothing a caller could check, and never looks
+// at the sticky error.
+func badSink(k *bdd.Kernel, f, g bdd.Ref) {
+	r := k.And(f, g) // want `allocating kernel op And in a function that neither consults`
+	_ = r
+}
+
+// badSinkCount folds the result into a plain number; Invalid silently skews
+// the count because nothing consults the kernel.
+func badSinkCount(k *bdd.Kernel, f bdd.Ref) float64 {
+	return k.SatCount(k.Not(f)) // want `allocating kernel op Not in a function that neither consults`
+}
+
+// goodErr consults the sticky error after the chain.
+func goodErr(k *bdd.Kernel, f, g bdd.Ref) {
+	r := k.And(f, g)
+	_ = r
+	if k.Err() != nil {
+		println("aborted")
+	}
+}
+
+// goodInvalid checks the propagated Invalid instead.
+func goodInvalid(k *bdd.Kernel, f, g bdd.Ref) {
+	if k.And(f, g) == bdd.Invalid {
+		println("aborted")
+	}
+}
+
+// goodErrorsIs tests the sentinel with errors.Is.
+func goodErrorsIs(k *bdd.Kernel, f bdd.Ref, err error) {
+	_ = k.Not(f)
+	if errors.Is(err, bdd.ErrBudget) {
+		println("aborted")
+	}
+}
+
+// goodReturnsRef propagates the handle; Invalid reaches the caller, which
+// owns the check.
+func goodReturnsRef(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	return k.And(k.Not(f), g)
+}
+
+// goodReturnsErr propagates an error result; the caller owns the check.
+func goodReturnsErr(k *bdd.Kernel, f bdd.Ref) error {
+	_ = k.Not(f)
+	return k.Err()
+}

@@ -1,0 +1,120 @@
+// Package tempmarks exercises the tempmark analyzer's all-paths
+// TempMark/TempRelease pairing check.
+package tempmarks
+
+import "repro/internal/bdd"
+
+// leakEarlyReturn releases on the happy path but leaks on the early return.
+func leakEarlyReturn(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	h := k.TempKeep(k.And(f, g))
+	if h == bdd.Invalid {
+		return bdd.Invalid // want `function exits without TempRelease\(mark\)`
+	}
+	r := k.Or(h, f)
+	k.TempRelease(mark)
+	return r
+}
+
+// leakFallOffEnd never releases at all.
+func leakFallOffEnd(k *bdd.Kernel, f bdd.Ref) {
+	mark := k.TempMark()
+	k.TempKeep(k.Not(f))
+	_ = mark
+} // want `function exits without TempRelease\(mark\)`
+
+// leakPanic releases on the normal path but not on the panicking branch.
+func leakPanic(k *bdd.Kernel, f bdd.Ref, bad bool) {
+	mark := k.TempMark()
+	if bad {
+		panic("invariant violated") // want `function exits without TempRelease\(mark\)`
+	}
+	k.TempRelease(mark)
+}
+
+// leakOneBranch releases in only one arm of the if.
+func leakOneBranch(k *bdd.Kernel, f, g bdd.Ref, which bool) bdd.Ref {
+	mark := k.TempMark()
+	var r bdd.Ref
+	if which {
+		r = k.And(f, g)
+		k.TempRelease(mark)
+	} else {
+		r = k.Or(f, g)
+	}
+	return r // want `function exits without TempRelease\(mark\)`
+}
+
+// goodDefer is the canonical pattern: the deferred release covers every
+// exit, including panics from callees.
+func goodDefer(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	defer k.TempRelease(mark)
+	h := k.TempKeep(k.And(f, g))
+	if h == bdd.Invalid {
+		return bdd.Invalid
+	}
+	return k.Or(h, f)
+}
+
+// goodAllPaths releases explicitly on each path.
+func goodAllPaths(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	h := k.TempKeep(k.And(f, g))
+	if h == bdd.Invalid {
+		k.TempRelease(mark)
+		return bdd.Invalid
+	}
+	r := k.Or(h, f)
+	k.TempRelease(mark)
+	return r
+}
+
+// goodRollingLoop is the accumulator idiom from the experiments package: a
+// defer guards the function while the loop re-releases and re-keeps.
+func goodRollingLoop(k *bdd.Kernel, fs []bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	defer k.TempRelease(mark)
+	acc := bdd.False
+	for _, f := range fs {
+		nf := k.Or(acc, f)
+		if nf == bdd.Invalid {
+			return bdd.Invalid
+		}
+		k.TempRelease(mark)
+		acc = k.TempKeep(nf)
+	}
+	return acc
+}
+
+// goodDeferClosure releases inside a deferred closure.
+func goodDeferClosure(k *bdd.Kernel, f bdd.Ref) {
+	mark := k.TempMark()
+	defer func() {
+		k.TempRelease(mark)
+	}()
+	k.TempKeep(k.Not(f))
+}
+
+// goodSwitch releases in every case including default.
+func goodSwitch(k *bdd.Kernel, f bdd.Ref, n int) {
+	mark := k.TempMark()
+	switch n {
+	case 0:
+		k.TempRelease(mark)
+	default:
+		k.TempKeep(k.Not(f))
+		k.TempRelease(mark)
+	}
+}
+
+// leakSwitchNoDefault releases in the only case, but a missed tag falls
+// past the switch unreleased.
+func leakSwitchNoDefault(k *bdd.Kernel, f bdd.Ref, n int) {
+	mark := k.TempMark()
+	k.TempKeep(k.Not(f))
+	switch n {
+	case 0:
+		k.TempRelease(mark)
+	}
+} // want `function exits without TempRelease\(mark\)`

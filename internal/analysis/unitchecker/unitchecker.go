@@ -1,0 +1,200 @@
+// Package unitchecker implements the command-line protocol that `go vet
+// -vettool=...` requires of an analysis tool, on top of the standard library
+// only. It is the build-system driver for cmd/cvlint.
+//
+// The protocol (the same one golang.org/x/tools/go/analysis/unitchecker
+// speaks, reimplemented here because this module vendors nothing):
+//
+//	cvlint -V=full     print a version line for the build cache
+//	cvlint -flags      describe supported flags in JSON
+//	cvlint foo.cfg     analyze the compilation unit described by foo.cfg
+//
+// The .cfg file is JSON written by cmd/go (see buildVetConfig in
+// cmd/go/internal/work): it names the unit's Go files and maps each import
+// path to the export-data file the compiler already produced, so the unit is
+// type-checked here without re-compiling its dependencies.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description produced by cmd/go
+// for vet tools. Field names must match; unknown fields are ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main implements the vet-tool protocol for the given analyzers and exits.
+// It returns only on usage errors.
+func Main(progname string, analyzers []*analysis.Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion(progname)
+			os.Exit(0)
+		case args[0] == "-flags":
+			// No tool-specific flags; an empty JSON list tells cmd/go so.
+			fmt.Println("[]")
+			os.Exit(0)
+		case filepath.Ext(args[0]) == ".cfg":
+			runUnit(args[0], analyzers)
+			os.Exit(0)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "usage: %s [-V=full | -flags | unit.cfg]\n", progname)
+	os.Exit(2)
+}
+
+// printVersion emits the line cmd/go's build cache requires: for a "devel"
+// tool the last field must be a buildID, which we derive from the
+// executable's own content hash so recompiled checkers invalidate cached
+// vet results.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
+}
+
+// runUnit analyzes one compilation unit and exits non-zero when diagnostics
+// were reported (the convention go vet expects from a vet tool).
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	if cfg.VetxOnly {
+		// Dependency-mode run: cmd/go only wants "facts" for downstream
+		// units. This suite has none, so succeed without analyzing; the
+		// empty vetx file keeps the action cacheable.
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+		return
+	}
+	fset := token.NewFileSet()
+	diags, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	if cfg.VetxOutput != "" {
+		_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cvlint: %v\n", err)
+	os.Exit(1)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no Go files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the unit, then runs the analyzers.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := makeImporter(fset, cfg)
+	tconf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	isStd := func(path string) bool { return cfg.Standard[path] }
+	return analysis.Run(fset, files, pkg, info, isStd, analyzers)
+}
+
+// makeImporter resolves imports through the export-data files cmd/go listed
+// in the config, honoring the vendoring map.
+func makeImporter(fset *token.FileSet, cfg *Config) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -14,6 +14,15 @@
 //
 // Kernels are not safe for concurrent use; callers that share a Kernel
 // across goroutines must serialize access.
+//
+// Several usage contracts of this API are not expressible in Go's type
+// system — Refs must stay with the Kernel that minted them (kernelmix),
+// TempMark/TempRelease and Protect/Unprotect must balance (tempmark), the
+// sticky Err must be consulted at the end of an allocation chain
+// (stickyerr), and the sentinel errors below may arrive wrapped
+// (sentinelcmp). cmd/cvlint checks all four statically; Config.DebugChecks
+// validates the first at run time. See DESIGN.md, section "Static
+// contracts".
 package bdd
 
 import (
@@ -41,6 +50,12 @@ const (
 // terminalLevel is the level assigned to the two terminal nodes. It orders
 // after every variable level.
 const terminalLevel = math.MaxUint32
+
+// freedLevel stamps the level field of swept nodes while DebugChecks is
+// enabled, so a stale Ref dereferencing a freed slot is recognizable. It can
+// never collide with a real level (levels are variable indices) or with
+// terminalLevel. makeNode overwrites the stamp when the slot is reused.
+const freedLevel = math.MaxUint32 - 1
 
 // ErrBudget is reported by Kernel.Err when an operation would have grown the
 // node table past the configured node budget. The paper's query-processing
@@ -79,6 +94,14 @@ type Config struct {
 	CacheSize int
 	// InitialNodes sizes the initial node table. Zero selects a default.
 	InitialNodes int
+	// DebugChecks enables runtime validation of every Ref entering a kernel
+	// operation: out-of-table handles (a Ref minted by a different kernel)
+	// and handles to GC-freed nodes (a missing Protect/TempKeep pin) panic
+	// at the operation boundary instead of silently denoting an unrelated
+	// node. See also SetDebugChecks. The mode costs a few comparisons per
+	// operation plus a level stamp per freed node during GC; it is meant for
+	// tests and soak runs, not production paths.
+	DebugChecks bool
 }
 
 // Kernel owns a shared node table and the operation caches. All Refs handed
@@ -92,9 +115,10 @@ type Kernel struct {
 	live    int     // number of live (non-free) nodes, including terminals
 	numVars int
 
-	budget    int
-	gcTrigger int // run GC when live exceeds this at an operation boundary
-	err       error
+	budget      int
+	gcTrigger   int // run GC when live exceeds this at an operation boundary
+	err         error
+	debugChecks bool // validate Refs at operation boundaries (Config.DebugChecks)
 
 	applyCache   []applyEntry
 	quantCache   []quantEntry
@@ -178,6 +202,7 @@ func New(cfg Config) *Kernel {
 	k := &Kernel{
 		numVars:      cfg.Vars,
 		budget:       cfg.NodeBudget,
+		debugChecks:  cfg.DebugChecks,
 		applyCache:   make([]applyEntry, cache),
 		quantCache:   make([]quantEntry, cache),
 		replaceCache: make([]replaceEntry, cache),
@@ -308,7 +333,8 @@ func (k *Kernel) checkVar(i int) {
 }
 
 // TempMark returns the current depth of the temporary-root stack, for a
-// later TempRelease.
+// later TempRelease. cmd/cvlint's tempmark analyzer verifies statically
+// that every TempMark is released on all exit paths.
 func (k *Kernel) TempMark() int { return len(k.tempRoots) }
 
 // TempKeep pushes f onto the temporary-root stack, protecting it from
@@ -319,6 +345,9 @@ func (k *Kernel) TempMark() int { return len(k.tempRoots) }
 // pinned nodes, temp roots and the current operation's operands survive.
 func (k *Kernel) TempKeep(f Ref) Ref {
 	if f > True {
+		if k.debugChecks {
+			k.checkRef(f)
+		}
 		k.tempRoots = append(k.tempRoots, f)
 	}
 	return f
@@ -338,9 +367,13 @@ func (k *Kernel) TempRelease(mark int) {
 // that are only held in caller data structures across unrelated kernel
 // operations must be protected; operands and results of the current
 // operation are safe without pinning, and short-lived intermediates should
-// use TempKeep/TempRelease.
+// use TempKeep/TempRelease. cmd/cvlint's tempmark analyzer flags pins that
+// are neither unprotected locally nor handed to a longer-lived owner.
 func (k *Kernel) Protect(f Ref) Ref {
 	if f > True { // terminals and Invalid need no pinning
+		if k.debugChecks {
+			k.checkRef(f)
+		}
 		k.nodes[f].refs++
 	}
 	return f
@@ -469,12 +502,46 @@ func (k *Kernel) clearCaches() {
 
 // gcIfNeeded runs a mark-and-sweep collection when the table has grown past
 // the trigger. It is called only at operation boundaries; roots are the
-// pinned nodes plus the operands of the pending operation.
+// pinned nodes plus the operands of the pending operation. Under DebugChecks
+// it doubles as the Ref-liveness checkpoint: every operand is validated
+// before it can be marked as a root or recursed into.
 func (k *Kernel) gcIfNeeded(operands ...Ref) {
+	if k.debugChecks {
+		for _, f := range operands {
+			k.checkRef(f)
+		}
+	}
 	if k.live < k.gcTrigger {
 		return
 	}
 	k.GC(operands...)
+}
+
+// SetDebugChecks switches runtime Ref validation (see Config.DebugChecks) on
+// or off. Enabling it on a kernel that has already collected garbage stamps
+// the current free list, so handles freed before the switch are caught too.
+func (k *Kernel) SetDebugChecks(on bool) {
+	k.debugChecks = on
+	if on {
+		for i := k.free; i >= 0; i = k.nodes[i].next {
+			k.nodes[i].level = freedLevel
+		}
+	}
+}
+
+// checkRef panics when f cannot be a live handle of this kernel. Invalid is
+// permitted: it is the documented abort value and propagates through every
+// operation by design.
+func (k *Kernel) checkRef(f Ref) {
+	if f == Invalid {
+		return
+	}
+	if f < 0 || int(f) >= len(k.nodes) {
+		panic(fmt.Sprintf("bdd: Ref %d outside the node table (len %d); was it minted by a different kernel?", f, len(k.nodes)))
+	}
+	if k.nodes[f].level == freedLevel {
+		panic(fmt.Sprintf("bdd: Ref %d names a node reclaimed by GC; missing Protect or TempKeep pin?", f))
+	}
 }
 
 // GC runs a mark-and-sweep garbage collection. Pinned nodes (Protect) and
@@ -526,6 +593,9 @@ func (k *Kernel) GC(extraRoots ...Ref) {
 		} else {
 			n.next = k.free
 			n.refs = 0
+			if k.debugChecks {
+				n.level = freedLevel
+			}
 			k.free = int32(i)
 		}
 	}

@@ -1,6 +1,7 @@
 package bdd_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -512,7 +513,7 @@ func TestReplaceRuntimeOrderCheck(t *testing.T) {
 	if got := k.Replace(g, m); got != bdd.Invalid {
 		t.Fatal("order-violating rename not rejected")
 	}
-	if k.Err() != bdd.ErrOrder {
+	if !errors.Is(k.Err(), bdd.ErrOrder) {
 		t.Fatalf("Err = %v, want ErrOrder", k.Err())
 	}
 	k.ClearErr()
@@ -683,4 +684,53 @@ func TestUnbalancedUnprotectPanics(t *testing.T) {
 		}
 	}()
 	k.Unprotect(f)
+}
+
+func TestDebugChecksCatchesStaleRef(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 4, DebugChecks: true})
+	f := k.And(k.Var(0), k.Var(1))
+	k.GC() // f is unpinned: its node is reclaimed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use of a GC-freed Ref")
+		}
+	}()
+	k.Not(f)
+}
+
+func TestDebugChecksCatchesForeignRef(t *testing.T) {
+	k1 := bdd.New(bdd.Config{Vars: 16, DebugChecks: true})
+	k2 := bdd.New(bdd.Config{Vars: 16, DebugChecks: true})
+	// Grow k1's table well past k2's so the foreign handle is out of range.
+	f := bdd.True
+	for i := 0; i < 16; i++ {
+		f = k1.And(f, k1.Var(i))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on a Ref from a different kernel")
+		}
+	}()
+	//lint:ignore kernelmix this test commits the cross-kernel mistake on purpose to prove DebugChecks catches it
+	k2.Not(f)
+}
+
+func TestDebugChecksAllowsInvalid(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 2, DebugChecks: true})
+	if got := k.And(bdd.Invalid, k.Var(0)); got != bdd.Invalid {
+		t.Fatalf("And(Invalid, x) = %v, want Invalid", got)
+	}
+}
+
+func TestSetDebugChecksStampsExistingFreeList(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 4})
+	f := k.And(k.Var(0), k.Var(1))
+	k.GC() // frees f's node while checks are still off
+	k.SetDebugChecks(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on a Ref freed before SetDebugChecks")
+		}
+	}()
+	k.Not(f)
 }

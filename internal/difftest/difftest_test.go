@@ -17,11 +17,17 @@ import (
 // it for a longer hunt: go test ./internal/difftest -run TestDifferentialSoak -seeds 2000
 var soakSeeds = flag.Int("seeds", 70, "number of seeded cases TestDifferentialSoak runs")
 
+// -debugchecks turns on bdd.Kernel runtime Ref validation for every kernel
+// the harness creates; a pin or cross-kernel bug then panics at the faulty
+// operation instead of surfacing as a downstream verdict mismatch.
+var debugChecks = flag.Bool("debugchecks", false, "enable kernel DebugChecks on every harness kernel")
+
 // soakBase is the fixed seed base: case i derives from soakBase+i, so every
 // run (and every CI run) replays the identical case sequence.
 const soakBase = int64(0xD1FF)
 
 func TestDifferentialSoak(t *testing.T) {
+	DebugChecks = *debugChecks
 	pairs := 0
 	for i := 0; i < *soakSeeds; i++ {
 		rng := rand.New(rand.NewSource(soakBase + int64(i)))

@@ -181,10 +181,10 @@ func (g *caseGen) domainSize(name string) int {
 // the rows are copied into the case spec, so the case stays self-describing.
 func (g *caseGen) genProdTable() {
 	spec := datagen.ProdSpec{
-		Products: g.ch.Intn(3),           // 0 = RANDOM family
-		Attrs:    2 + g.ch.Intn(2),       // 2..3
-		Tuples:   10 + g.ch.Intn(40),     // ~10..50
-		DomSize:  2 + g.ch.Intn(5),       // 2..6
+		Products: g.ch.Intn(3),       // 0 = RANDOM family
+		Attrs:    2 + g.ch.Intn(2),   // 2..3
+		Tuples:   10 + g.ch.Intn(40), // ~10..50
+		DomSize:  2 + g.ch.Intn(5),   // 2..6
 	}
 	scratch := relation.NewCatalog()
 	rng := rand.New(rand.NewSource(int64(g.ch.Intn(1 << 20))))

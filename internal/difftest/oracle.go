@@ -33,6 +33,12 @@ import (
 // compared (the two engines may truncate different subsets).
 const witnessLimit = 10000
 
+// DebugChecks makes the harness enable bdd.Kernel runtime Ref validation
+// (Config.DebugChecks) on the primary and on every frozen replica, so a soak
+// run doubles as a hunt for use-after-GC and cross-kernel handle bugs. The
+// difftest suite's -debugchecks flag sets it.
+var DebugChecks bool
+
 // Mismatch describes one oracle disagreement. It is a test failure in
 // waiting: the shrinker minimizes the case around it and the corpus writer
 // persists it.
@@ -84,6 +90,9 @@ func RunCase(c *Case) (*Mismatch, error) {
 		}
 	}
 	primary := core.New(cat, core.Options{NodeBudget: -1, RandomSeed: c.Seed})
+	if DebugChecks {
+		primary.Store().Kernel().SetDebugChecks(true)
+	}
 	for _, ts := range c.Tables {
 		// The index carries the table's name: the evaluator resolves a
 		// predicate to the index of the same name, and nil cols means the
@@ -118,6 +127,9 @@ func RunCase(c *Case) (*Mismatch, error) {
 // internal/replica.NewVersion uses for the production read pool.
 func freeze(primary *core.Checker) (*core.Checker, error) {
 	rep := core.New(primary.Catalog().Clone(), primary.Options())
+	if DebugChecks {
+		rep.Store().Kernel().SetDebugChecks(true)
+	}
 	if err := rep.AdoptIndices(primary.Store().Kernel(), primary.SnapshotIndices()); err != nil {
 		return nil, fmt.Errorf("difftest: freezing replica: %w", err)
 	}

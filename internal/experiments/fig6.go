@@ -165,6 +165,8 @@ func Fig6a(cfg Config) error {
 			}
 			k.Unprotect(naiveRes)
 			k.Unprotect(renameRes)
+			k.Unprotect(r1)
+			k.Unprotect(r2)
 		}
 		fmt.Fprintf(w, "%-12d | %12v %12v %8.1f | %12v %12v %8.1f\n",
 			target,
@@ -237,6 +239,7 @@ func Fig6b(cfg Config) error {
 		sep := k.Or(k.TempKeep(k.Exists(p, cube)), k.Exists(q, cube))
 		tSep := time.Since(start)
 		k.TempRelease(0)
+		//lint:ignore tempmark the kernel is discarded at the end of this loop iteration, so the pin only needs to outlive the AppEx below
 		k.Protect(sep)
 
 		k.GC()
@@ -281,6 +284,7 @@ func Fig6c(cfg Config) error {
 		if push != comb {
 			return fmt.Errorf("fig6c: strategies disagree at %d nodes", target)
 		}
+		k.Unprotect(comb)
 		fmt.Fprintf(w, "%-12d | %14v %14v %8.1f\n",
 			target, tComb.Round(time.Microsecond), tPush.Round(time.Microsecond),
 			float64(tComb)/float64(tPush))

@@ -1,6 +1,7 @@
 package fdd_test
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -285,7 +286,7 @@ func TestRelationUnderBudgetAborts(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected budget error")
 	}
-	if k.Err() != bdd.ErrBudget {
+	if !errors.Is(k.Err(), bdd.ErrBudget) {
 		t.Fatalf("kernel error = %v, want ErrBudget", k.Err())
 	}
 }

@@ -19,6 +19,11 @@
 //	POST /update     {"updates": [{"table": "CUST", "op": "insert", "values": ["Toronto","416","Ontario"]}]}
 //	GET  /healthz
 //	GET  /statsz
+//	GET  /metricsz   (Prometheus text exposition)
+//
+// Appending ?trace=1 to the POST endpoints returns per-stage spans with BDD
+// kernel deltas. -pprof additionally serves net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +70,13 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	nodesPerSec := flag.Int("nodes-per-sec", 0, "map request deadlines to BDD node budgets at this rate (0 = off)")
 	replicas := flag.Int("replicas", 0, "replicated read-pool size for /check and /witnesses (0 = GOMAXPROCS, negative = disabled)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes, rejected with 413 beyond it (0 = 8 MiB default, negative = uncapped)")
+	slowReq := flag.Duration("slow-request", 0, "log requests slower than this with per-stage spans (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	flag.Parse()
 
 	if len(tables) == 0 || *constraintsPath == "" {
@@ -116,6 +129,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		NodesPerSecond: *nodesPerSec,
 		Replicas:       *replicas,
+		MaxBodyBytes:   *maxBody,
+		SlowRequest:    *slowReq,
 	})
 	if err != nil {
 		fatal(err)
@@ -124,7 +139,34 @@ func main() {
 		log.Printf("constraint %s registered", name)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The service mux only routes its own endpoints, so pprof mounts on a
+		// wrapper mux rather than http.DefaultServeMux (which other packages
+		// could pollute).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
+
+	// The daemon holds client connections open across slow BDD evaluations,
+	// so the server timeouts must exist (a default http.Server never times a
+	// client out — one slow-written request per connection pins a goroutine
+	// and its buffers forever).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {

@@ -1,0 +1,39 @@
+// Command promcheck validates Prometheus text exposition read from stdin
+// (or a file argument) and exits non-zero on the first violation, printing
+// it. The CI smoke step pipes a live /metricsz scrape through it, so a
+// malformed exposition fails the build rather than a scraper at 3am.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metricsz | promcheck
+//	promcheck scrape.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := obs.ValidateExposition(in); err != nil {
+		fatal(err)
+	}
+	fmt.Println("promcheck: exposition OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

@@ -134,7 +134,8 @@ type Kernel struct {
 	gcCount      int
 	appliedCount uint64
 	cacheHits    uint64
-	peak         int // largest live ever observed
+	allocCount   uint64 // nodes allocated, monotonic (GC never lowers it)
+	peak         int    // largest live ever observed
 }
 
 type applyEntry struct {
@@ -440,6 +441,7 @@ func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
 	k.nodes[idx] = node{level: level, low: low, high: high, next: k.buckets[h]}
 	k.buckets[h] = idx
 	k.live++
+	k.allocCount++
 	if k.live > k.peak {
 		k.peak = k.live
 	}

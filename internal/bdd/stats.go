@@ -31,7 +31,53 @@ type Stats struct {
 	CacheHits uint64
 	// CacheEntries is the current per-operation cache size in entries.
 	CacheEntries int
+	// Allocs counts node allocations since kernel creation. Unlike Live it
+	// is monotonic — garbage collection never lowers it — which makes the
+	// difference of two snapshots a meaningful "nodes allocated" figure for
+	// the work between them.
+	Allocs uint64
 }
+
+// Delta is the movement of the kernel's monotonic counters between two
+// snapshots, attributing kernel work (node allocation, GC pressure, cache
+// effectiveness, apply steps) to the operation bracketed by the snapshots. A
+// request-tracing layer takes one snapshot per pipeline stage; both
+// snapshots must be taken on the goroutine that owns the kernel.
+type Delta struct {
+	// NodesAllocated is how many nodes the stage allocated (reused free-list
+	// slots included).
+	NodesAllocated uint64
+	// GCRuns is how many garbage collections ran during the stage.
+	GCRuns int
+	// CacheHits is the operation-cache hits scored by the stage.
+	CacheHits uint64
+	// Ops is the recursive apply steps executed by the stage.
+	Ops uint64
+}
+
+// DeltaSince returns the counter movement from prev to s. The snapshots must
+// come from the same kernel with prev taken first; monotonic counters then
+// guarantee non-negative fields.
+func (s Stats) DeltaSince(prev Stats) Delta {
+	return Delta{
+		NodesAllocated: s.Allocs - prev.Allocs,
+		GCRuns:         s.GCRuns - prev.GCRuns,
+		CacheHits:      s.CacheHits - prev.CacheHits,
+		Ops:            s.Ops - prev.Ops,
+	}
+}
+
+// Add accumulates two deltas, for rolling consecutive stages into one.
+func (d Delta) Add(o Delta) Delta {
+	d.NodesAllocated += o.NodesAllocated
+	d.GCRuns += o.GCRuns
+	d.CacheHits += o.CacheHits
+	d.Ops += o.Ops
+	return d
+}
+
+// IsZero reports whether the delta records no kernel movement at all.
+func (d Delta) IsZero() bool { return d == Delta{} }
 
 // Stats takes a snapshot of the kernel's counters.
 func (k *Kernel) Stats() Stats {
@@ -45,6 +91,7 @@ func (k *Kernel) Stats() Stats {
 		Ops:          k.appliedCount,
 		CacheHits:    k.cacheHits,
 		CacheEntries: len(k.applyCache),
+		Allocs:       k.allocCount,
 	}
 }
 

@@ -40,6 +40,42 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 }
 
+func TestStatsDelta(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 8})
+	before := k.Stats()
+	f := bdd.True
+	for i := 0; i < 8; i++ {
+		k.TempKeep(f)
+		f = k.And(f, k.Var(i))
+	}
+	after := k.Stats()
+	d := after.DeltaSince(before)
+	if d.NodesAllocated == 0 || d.Ops == 0 {
+		t.Fatalf("work left no delta: %+v", d)
+	}
+	if d.IsZero() {
+		t.Fatalf("non-empty delta reports IsZero: %+v", d)
+	}
+	if got := after.DeltaSince(after); !got.IsZero() {
+		t.Fatalf("self-delta = %+v, want zero", got)
+	}
+	// Allocs stays monotonic across GC, so post-GC deltas cannot go
+	// negative the way Live-based accounting would.
+	k.TempRelease(0)
+	k.GC()
+	gcd := k.Stats().DeltaSince(after)
+	if gcd.GCRuns != 1 {
+		t.Fatalf("GCRuns delta = %d, want 1", gcd.GCRuns)
+	}
+	if k.Stats().Allocs < after.Allocs {
+		t.Fatalf("Allocs shrank across GC: %d -> %d", after.Allocs, k.Stats().Allocs)
+	}
+	sum := d.Add(gcd)
+	if sum.NodesAllocated != d.NodesAllocated+gcd.NodesAllocated || sum.GCRuns != d.GCRuns+gcd.GCRuns {
+		t.Fatalf("Add mismatch: %+v + %+v = %+v", d, gcd, sum)
+	}
+}
+
 func TestSetBudgetAbortsAndRestores(t *testing.T) {
 	k := bdd.New(bdd.Config{Vars: 16})
 	a := k.Protect(k.And(k.Var(0), k.Var(1)))

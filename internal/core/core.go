@@ -126,9 +126,20 @@ type Result struct {
 	FallbackReason error
 	// Duration is the wall-clock validation time.
 	Duration time.Duration
+	// SQLDuration is the part of Duration spent in the SQL fallback
+	// (compile + run); zero when the fallback did not run.
+	SQLDuration time.Duration
+	// Kernel is the BDD-kernel counter movement (nodes allocated, GC runs,
+	// cache hits, apply ops) attributable to this validation — the tracing
+	// layer's per-stage attribution. Capturing it is two counter snapshots.
+	Kernel bdd.Delta
 	// Err is set when validation failed outright (e.g. analysis errors).
 	Err error
 }
+
+// BDDDuration is the part of Duration spent in BDD work (index evaluation
+// or the FD fast path) rather than the SQL fallback.
+func (r Result) BDDDuration() time.Duration { return r.Duration - r.SQLDuration }
 
 // Checker validates constraints against a catalog using logical indices.
 type Checker struct {
@@ -318,7 +329,10 @@ func (c *Checker) CheckOne(ct logic.Constraint) Result {
 	return c.checkOne(ct, CheckOptions{})
 }
 
-func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) Result {
+func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) (res Result) {
+	k := c.store.Kernel()
+	before := k.Stats()
+	defer func() { res.Kernel = k.Stats().DeltaSince(before) }()
 	if !c.opts.NoFDFastPath {
 		if res, ok := c.tryFDFastPath(ct); ok {
 			c.stats.FDFastPath++
@@ -326,7 +340,7 @@ func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) Result {
 		}
 	}
 	start := time.Now()
-	res := Result{Constraint: ct, Method: MethodBDD}
+	res = Result{Constraint: ct, Method: MethodBDD}
 	out, err := c.ev.Eval(ct)
 	if err == nil {
 		c.stats.BDDChecks++
@@ -355,10 +369,12 @@ func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) Result {
 	res.Method = MethodSQL
 	res.FellBack = true
 	res.FallbackReason = err
+	sqlStart := time.Now()
 	q, err := sqlengine.Compile(ct, resolver{c})
 	if err != nil {
 		c.stats.Errors++
 		res.Err = err
+		res.SQLDuration = time.Since(sqlStart)
 		res.Duration = time.Since(start)
 		return res
 	}
@@ -368,6 +384,7 @@ func (c *Checker) checkOne(ct logic.Constraint, opts CheckOptions) Result {
 		res.Err = err
 	}
 	res.Violated = violated
+	res.SQLDuration = time.Since(sqlStart)
 	res.Duration = time.Since(start)
 	return res
 }

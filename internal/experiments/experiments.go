@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/ordering"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -33,6 +34,23 @@ type BenchRow struct {
 	Params     map[string]any `json:"params,omitempty"`
 	NsPerOp    int64          `json:"ns_per_op"`
 	Nodes      int            `json:"nodes,omitempty"`
+	// P50NS/P95NS/P99NS are per-operation latency quantiles, present for
+	// measurements that time each operation individually (fig4 updates,
+	// parallel checks). Quantiles come from a log2-bucket histogram
+	// (internal/obs), so each is the enclosing power-of-two upper bound —
+	// an over-estimate by at most 2x.
+	P50NS int64 `json:"p50_ns,omitempty"`
+	P95NS int64 `json:"p95_ns,omitempty"`
+	P99NS int64 `json:"p99_ns,omitempty"`
+}
+
+// withPercentiles fills the row's latency quantiles from h.
+func (r BenchRow) withPercentiles(h *obs.Histogram) BenchRow {
+	s := h.Snapshot()
+	r.P50NS = s.Quantile(0.50).Nanoseconds()
+	r.P95NS = s.Quantile(0.95).Nanoseconds()
+	r.P99NS = s.Quantile(0.99).Nanoseconds()
+	return r
 }
 
 // Config controls workload sizes and output.
@@ -340,15 +358,20 @@ func Fig4(cfg Config) error {
 			// (delete + reinsert keeps the index unchanged at the end).
 			const updates = 2000
 			rng := cfg.rng(int64(n + i))
+			var hist obs.Histogram
 			start = time.Now()
 			for u := 0; u < updates; u++ {
 				row := data.Table.Row(rng.Intn(data.Table.Len()))
+				pairStart := time.Now()
 				if err := ix.Delete(row, false); err != nil {
 					return err
 				}
 				if err := ix.Insert(row); err != nil {
 					return err
 				}
+				// One observation per delete+insert pair, halved to match the
+				// per-operation mean the paper reports.
+				hist.Observe(time.Since(pairStart) / 2)
 			}
 			update[i] = time.Since(start) / (2 * updates)
 			cfg.record(BenchRow{
@@ -360,7 +383,7 @@ func Fig4(cfg Config) error {
 				Experiment: "fig4", Name: "update",
 				Params:  map[string]any{"index": spec.name, "tuples": n},
 				NsPerOp: update[i].Nanoseconds(), Nodes: nodes[i],
-			})
+			}.withPercentiles(&hist))
 		}
 		fmt.Fprintf(w, "%-9d | %12v %12v | %12v %12v | %10d %10d\n",
 			n, build[0].Round(time.Millisecond), build[1].Round(time.Millisecond),

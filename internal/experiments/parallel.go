@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/replica"
 )
@@ -74,14 +75,15 @@ func Parallel(cfg Config) error {
 
 	fmt.Fprintf(w, "=== Parallel check throughput: replicated kernels (%d tuples, %d checks, %d CPUs) ===\n",
 		tuples, checks, runtime.NumCPU())
-	fmt.Fprintf(w, "%-10s %14s %14s %10s\n", "replicas", "total", "ns/check", "checks/s")
+	fmt.Fprintf(w, "%-10s %14s %14s %10s %10s %10s\n", "replicas", "total", "ns/check", "checks/s", "p95", "p99")
 	var base float64
 	for _, n := range cfg.parallelSizes() {
 		pool, err := replica.New(n, v)
 		if err != nil {
 			return err
 		}
-		rate, elapsed, err := parallelRun(pool, n, checks, ct)
+		var hist obs.Histogram
+		rate, elapsed, err := parallelRun(pool, n, checks, ct, &hist)
 		pool.Close()
 		if err != nil {
 			return err
@@ -89,8 +91,9 @@ func Parallel(cfg Config) error {
 		if base == 0 {
 			base = rate
 		}
-		fmt.Fprintf(w, "%-10d %14v %14d %10.0f  (%.2fx)\n",
-			n, elapsed.Round(time.Millisecond), elapsed.Nanoseconds()/int64(checks), rate, rate/base)
+		fmt.Fprintf(w, "%-10d %14v %14d %10.0f %10v %10v  (%.2fx)\n",
+			n, elapsed.Round(time.Millisecond), elapsed.Nanoseconds()/int64(checks), rate,
+			hist.Quantile(0.95), hist.Quantile(0.99), rate/base)
 		cfg.record(BenchRow{
 			Experiment: "parallel", Name: "check",
 			Params: map[string]any{
@@ -98,7 +101,7 @@ func Parallel(cfg Config) error {
 				"gomaxprocs": runtime.GOMAXPROCS(0), "cpus": runtime.NumCPU(),
 			},
 			NsPerOp: elapsed.Nanoseconds() / int64(checks),
-		})
+		}.withPercentiles(&hist))
 	}
 	fmt.Fprintln(w, "expectation: near-linear scaling until the pool size reaches the core count")
 	return nil
@@ -109,8 +112,10 @@ func Parallel(cfg Config) error {
 // worker is materialized at a barrier first and serves the constraint once,
 // so version-adoption cost and the first cache-cold evaluation per replica
 // stay out of the timed region — the measured regime is the repeated-check
-// steady state a long-lived pool settles into between version swaps.
-func parallelRun(pool *replica.Pool, n, checks int, ct logic.Constraint) (rate float64, elapsed time.Duration, err error) {
+// steady state a long-lived pool settles into between version swaps. Each
+// check's submission-to-completion latency (queue wait included — the
+// client-perceived figure) feeds hist.
+func parallelRun(pool *replica.Pool, n, checks int, ct logic.Constraint, hist *obs.Histogram) (rate float64, elapsed time.Duration, err error) {
 	var ready, warm sync.WaitGroup
 	ready.Add(n)
 	for i := 0; i < n; i++ {
@@ -141,6 +146,7 @@ func parallelRun(pool *replica.Pool, n, checks int, ct logic.Constraint) (rate f
 		go func(share int) {
 			defer wg.Done()
 			for i := 0; i < share; i++ {
+				checkStart := time.Now()
 				err := pool.Do(context.Background(), func(chk *core.Checker, _ uint64) {
 					if res := chk.CheckOneOpts(ct, core.CheckOptions{NoSQLFallback: true}); res.Err != nil {
 						fail(res.Err)
@@ -148,6 +154,7 @@ func parallelRun(pool *replica.Pool, n, checks int, ct logic.Constraint) (rate f
 						fail(fmt.Errorf("parallel: check fell back: %v", res.FallbackReason))
 					}
 				})
+				hist.Observe(time.Since(checkStart))
 				if err != nil {
 					fail(err)
 					return

@@ -1,0 +1,322 @@
+package obs
+
+// expfmt.go validates the Prometheus text exposition format (version 0.0.4)
+// — the consumer-side counterpart of registry.go's writer. The CI smoke step
+// pipes a live /metricsz scrape through cmd/promcheck, which calls
+// ValidateExposition; the service tests run the same validator over the
+// handler's output, so writer and validator cannot drift apart silently.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r holds well-formed Prometheus text
+// exposition output and returns the first violation found. Beyond the line
+// grammar it enforces the metadata and histogram invariants a scraper
+// relies on: at most one TYPE/HELP per family, TYPE before the family's
+// samples, no duplicate series, histogram buckets cumulative and capped by
+// a +Inf bucket that matches _count.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	typed := map[string]string{}     // family -> kind
+	helped := map[string]bool{}      // family -> HELP seen
+	sampled := map[string]bool{}     // family -> samples seen
+	seen := map[string]bool{}        // name{labels} -> present
+	hists := map[string]*histState{} // family{base labels} -> state
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed, helped, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+		key := name + "{" + labels + "}"
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		fam := familyOf(name, typed)
+		sampled[fam] = true
+		if kind, ok := typed[fam]; ok && kind == "histogram" {
+			if err := trackHistogram(name, labels, value, fam, hists); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for key, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		if h.hasCnt && h.count != h.inf {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, h.count, h.inf)
+		}
+	}
+	return nil
+}
+
+func validateComment(line string, typed map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, kind := fields[2], fields[3]
+		if !metricNameOK(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", kind, name)
+		}
+		if _, dup := typed[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		typed[name] = kind
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !metricNameOK(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helped[name] = true
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [timestamp]` and validates each
+// part, returning the name, the raw label block (without braces) and the
+// parsed value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !metricNameOK(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("want value [timestamp] after name in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateLabels checks a label block: comma-separated name="value" pairs
+// with valid label names and properly escaped values.
+func validateLabels(block string) error {
+	if block == "" {
+		return nil
+	}
+	rest := block
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair without '=' (%q)", rest)
+		}
+		lname := rest[:eq]
+		if !labelNameOK(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted value for label %q", lname)
+		}
+		rest = rest[1:]
+		// Scan to the closing quote, honoring escapes.
+		i := 0
+		for {
+			if i >= len(rest) {
+				return fmt.Errorf("unterminated value for label %q", lname)
+			}
+			if rest[i] == '\\' {
+				if i+1 >= len(rest) {
+					return fmt.Errorf("dangling escape in value for label %q", lname)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return fmt.Errorf("bad escape \\%c in value for label %q", rest[i+1], lname)
+				}
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return fmt.Errorf("expected ',' between label pairs (%q)", rest)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}
+
+func labelNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf strips the _bucket/_sum/_count suffix when the base name is a
+// declared histogram, so samples attach to the right family.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typed[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// histState tracks one histogram series' invariants across its samples.
+type histState struct {
+	prevLe  float64
+	prevCum float64
+	infSeen bool
+	inf     float64
+	count   float64
+	hasCnt  bool
+}
+
+// trackHistogram accumulates per-series histogram invariants: buckets must
+// carry an le label, appear in increasing le order with non-decreasing
+// cumulative counts, and end in a +Inf bucket matching _count.
+func trackHistogram(name, labels string, value float64, fam string, hists map[string]*histState) error {
+	base, le, isBucket := splitLe(labels)
+	key := fam + "{" + base + "}"
+	h := hists[key]
+	if h == nil {
+		h = &histState{prevLe: math.Inf(-1)}
+		hists[key] = h
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		if !isBucket {
+			return fmt.Errorf("histogram bucket %s missing le label", name)
+		}
+		leV, err := parseValue(le)
+		if err != nil {
+			return fmt.Errorf("bad le %q on %s", le, name)
+		}
+		if leV <= h.prevLe {
+			return fmt.Errorf("histogram %s: le %q out of order", key, le)
+		}
+		if value < h.prevCum {
+			return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%q", key, le)
+		}
+		h.prevLe, h.prevCum = leV, value
+		if math.IsInf(leV, 1) {
+			h.infSeen, h.inf = true, value
+		}
+	case strings.HasSuffix(name, "_count"):
+		h.count, h.hasCnt = value, true
+	}
+	return nil
+}
+
+// splitLe removes the le pair from a bucket's label block, returning the
+// base labels, the le value and whether an le pair was present.
+func splitLe(labels string) (base, le string, ok bool) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, found := strings.CutPrefix(p, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ","), le, ok
+}

@@ -1,0 +1,151 @@
+// Package obs is the stdlib-only observability layer of the long-lived
+// service: lock-cheap counters and log2-bucket latency histograms with
+// percentile extraction, request-scoped traces whose spans carry BDD-kernel
+// counter deltas (internal/bdd.Delta), and a registry that renders
+// everything in the Prometheus text exposition format for /metricsz.
+//
+// Everything here is safe for concurrent use and designed to sit on hot
+// paths: recording a histogram observation is two atomic adds and one atomic
+// increment, a counter bump is one atomic add, and a disabled trace (a nil
+// *Trace) costs a single nil check per call site. Reads (percentiles, the
+// exposition writer) take point-in-time snapshots of the atomics; under
+// concurrent writes a snapshot may be torn by a few in-flight observations,
+// which monitoring tolerates by construction.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log2 histogram buckets. Bucket i counts
+// observations v (in nanoseconds) with v <= 2^i and v > 2^(i-1); bucket 0
+// counts v <= 1. 63 buckets cover every positive int64 duration, so there is
+// no overflow bucket to saturate.
+const NumBuckets = 63
+
+// Histogram is a fixed-shape log2-bucket latency histogram. The zero value
+// is ready for use. Buckets are powers of two in nanoseconds, which keeps
+// Observe branch-free (one bits.Len64) and bounds the relative error of
+// percentile extraction by 2x — ample for the "where did the time go"
+// question the histograms exist to answer.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index: the smallest i with
+// ns <= 2^i, i.e. bits.Len64(ns-1) clamped to the bucket range.
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns - 1))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i, 2^i
+// nanoseconds.
+func BucketBound(i int) time.Duration { return time.Duration(1) << uint(i) }
+
+// Observe records one duration. Negative durations are clamped to zero
+// (clocks can step; a poisoned histogram is worse than a flattened sample).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)].Add(1)
+	h.sum.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state, for
+// consistent multi-quantile extraction.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot copies the histogram's counters. The bucket array is read without
+// a global lock, so a snapshot taken under concurrent writes may be off by
+// the few observations in flight.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) as the upper bound of the
+// bucket holding the rank-q observation: an over-estimate by at most 2x.
+// It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile extracts a quantile from the snapshot; see Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	// Rank against the bucket total, not Count: under concurrent writes the
+	// two can disagree by in-flight observations, and walking with the
+	// bucket total keeps the rank reachable.
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready for use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }

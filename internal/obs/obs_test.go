@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bdd"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{3, 2},
+		{4, 2},
+		{5, 3},
+		{100, 7},
+		{128, 7},
+		{129, 8},
+		{30 * time.Microsecond, 15},
+		{1 << 62, 62},
+		{1<<63 - 1, 62}, // beyond the last bound, clamped to the top bucket
+	}
+	for _, c := range cases {
+		d := c.d
+		if d < 0 {
+			d = 0 // Observe clamps; bucketOf is only called on clamped values
+		}
+		if got := bucketOf(d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundCoversBucket(t *testing.T) {
+	for i := 0; i < NumBuckets-1; i++ {
+		b := BucketBound(i)
+		if bucketOf(b) != i {
+			t.Errorf("upper bound %v of bucket %d maps to bucket %d", b, i, bucketOf(b))
+		}
+		if bucketOf(b+1) != i+1 {
+			t.Errorf("%v (just past bucket %d) maps to bucket %d, want %d", b+1, i, bucketOf(b+1), i+1)
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(30 * time.Microsecond)
+	h.Observe(-time.Second) // clamped to 0, lands in bucket 0
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got, want := h.Sum(), 30200*time.Nanosecond; got != want {
+		t.Fatalf("Sum = %v, want %v (negative observation must add 0)", got, want)
+	}
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 || s.Buckets[7] != 2 || s.Buckets[15] != 1 {
+		t.Fatalf("unexpected bucket layout: %v", s.Buckets)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	// 1µs lands in bucket 10 (bound 1.024µs), 1ms in bucket 20 (bound
+	// ~1.049ms). Rank 50 and 90 sit in the first group, 95 and 99 in the
+	// second.
+	lo, hi := BucketBound(10), BucketBound(20)
+	if got := h.Quantile(0.5); got != lo {
+		t.Errorf("p50 = %v, want %v", got, lo)
+	}
+	if got := h.Quantile(0.9); got != lo {
+		t.Errorf("p90 = %v, want %v", got, lo)
+	}
+	if got := h.Quantile(0.95); got != hi {
+		t.Errorf("p95 = %v, want %v", got, hi)
+	}
+	if got := h.Quantile(0.99); got != hi {
+		t.Errorf("p99 = %v, want %v", got, hi)
+	}
+	if got := h.Quantile(0); got != lo {
+		t.Errorf("p0 = %v, want %v (rank floors at 1)", got, lo)
+	}
+	if got := h.Quantile(2); got != hi {
+		t.Errorf("q=2 = %v, want clamp to max %v", got, hi)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Nanosecond)
+				// Concurrent reads must not race with writes.
+				_ = h.Quantile(0.99)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+	s := h.Snapshot()
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != goroutines*perG {
+		t.Fatalf("bucket total = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if !tr.Begin().IsZero() {
+		t.Error("nil Begin should return the zero time")
+	}
+	tr.Span("a", time.Now())
+	tr.SpanKernel("b", time.Now(), bdd.Delta{NodesAllocated: 1})
+	tr.Record("c", time.Now(), time.Second, &bdd.Delta{Ops: 1})
+	if got := tr.Spans(); got != nil {
+		t.Errorf("nil Spans = %v, want nil", got)
+	}
+	if got := tr.Total(); got != 0 {
+		t.Errorf("nil Total = %v, want 0", got)
+	}
+	if got := tr.Summary(); got != "" {
+		t.Errorf("nil Summary = %q, want empty", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	start := tr.Begin()
+	if start.IsZero() {
+		t.Fatal("Begin on a live trace returned the zero time")
+	}
+	tr.Span("queue_wait", start)
+	tr.SpanKernel("eval:x", tr.Begin(), bdd.Delta{NodesAllocated: 7, Ops: 3})
+	tr.SpanKernel("eval:zero", tr.Begin(), bdd.Delta{})
+	d := bdd.Delta{CacheHits: 5}
+	tr.Record("sql:x", tr.Begin(), 123*time.Microsecond, &d)
+	d.CacheHits = 99 // Record must copy, not alias
+	tr.Record("witness_enum", tr.Begin(), time.Millisecond, nil)
+
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5: %+v", len(spans), spans)
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		if sp.Start < 0 || sp.Duration < 0 {
+			t.Errorf("span %s has negative start/duration: %+v", sp.Name, sp)
+		}
+		byName[sp.Name] = sp
+	}
+	if k := byName["eval:x"].Kernel; k == nil || k.NodesAllocated != 7 || k.Ops != 3 {
+		t.Errorf("eval:x kernel = %+v, want {NodesAllocated:7 Ops:3}", k)
+	}
+	if byName["eval:zero"].Kernel != nil {
+		t.Error("zero kernel delta should be recorded without annotation")
+	}
+	if k := byName["sql:x"].Kernel; k == nil || k.CacheHits != 5 {
+		t.Errorf("sql:x kernel = %+v, want the copied {CacheHits:5}", k)
+	}
+	if got := byName["sql:x"].Duration; got != 123*time.Microsecond {
+		t.Errorf("sql:x duration = %v, want the explicit 123µs", got)
+	}
+	if byName["witness_enum"].Kernel != nil {
+		t.Error("nil kernel pointer should leave the span unannotated")
+	}
+	if tr.Total() <= 0 {
+		t.Error("Total should be positive on a live trace")
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"queue_wait=", "eval:x=", "[+7n]", "sql:x="} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Span("s", tr.Begin())
+				_ = tr.Spans()
+				_ = tr.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 2000 {
+		t.Fatalf("got %d spans, want 2000", got)
+	}
+}

@@ -1,0 +1,210 @@
+package obs
+
+// registry.go collects named metrics and renders them in the Prometheus
+// text exposition format (version 0.0.4): "# HELP"/"# TYPE" headers per
+// family, one sample line per series, histograms as cumulative le-buckets
+// with _sum and _count. Registration happens once at construction time
+// behind a mutex; the hot path only touches the returned Counter/Histogram
+// atomics.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a Prometheus metric type.
+type Kind string
+
+// Metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// series is one labeled instance of a family. Exactly one of the value
+// fields is set, matching the family's kind.
+type series struct {
+	labels  string // rendered label pairs, e.g. `endpoint="check"`; may be empty
+	counter *Counter
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is one metric name with its help text, type and series.
+type family struct {
+	name string
+	help string
+	kind Kind
+	rows []series
+}
+
+// Registry holds metric families and renders them for scraping.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted family names
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricNameOK matches the Prometheus metric-name grammar.
+func metricNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, labels, help string, kind Kind, s series) {
+	if !metricNameOK(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	for _, row := range f.rows {
+		if row.labels == labels {
+			panic(fmt.Sprintf("obs: duplicate series %s{%s}", name, labels))
+		}
+	}
+	s.labels = labels
+	f.rows = append(f.rows, s)
+}
+
+// Counter registers and returns an owned counter series. labels holds
+// rendered Prometheus label pairs (`endpoint="check"`), or "" for none.
+// Registering the same (name, labels) twice panics — series are created
+// once, at construction time.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.register(name, labels, help, KindCounter, series{counter: c})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for counters that already live elsewhere as atomics.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() uint64) {
+	r.register(name, labels, help, KindCounter, series{fn: func() float64 { return float64(fn()) }})
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, KindGauge, series{fn: fn})
+}
+
+// Histogram registers and returns an owned histogram series. Durations are
+// exposed in seconds, per Prometheus convention.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	h := &Histogram{}
+	r.register(name, labels, help, KindHistogram, series{hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families in name order and series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, row := range f.rows {
+			switch {
+			case row.counter != nil:
+				writeSample(&b, f.name, row.labels, float64(row.counter.Load()))
+			case row.fn != nil:
+				writeSample(&b, f.name, row.labels, row.fn())
+			case row.hist != nil:
+				writeHistogram(&b, f.name, row.labels, row.hist.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample emits `name{labels} value`.
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative le-bucket series plus _sum and _count.
+// Empty leading and trailing buckets are elided (the cumulative counts stay
+// correct); the mandatory +Inf bucket always appears.
+func writeHistogram(b *strings.Builder, name, labels string, s HistogramSnapshot) {
+	first, last := NumBuckets, -1
+	for i, c := range s.Buckets {
+		if c > 0 {
+			if first == NumBuckets {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum uint64
+	bucketName := name + "_bucket"
+	for i := first; i <= last; i++ {
+		cum += s.Buckets[i]
+		le := strconv.FormatFloat(float64(BucketBound(i))/1e9, 'g', -1, 64)
+		writeSample(b, bucketName, joinLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	writeSample(b, bucketName, joinLabels(labels, `le="+Inf"`), float64(cum))
+	writeSample(b, name+"_sum", labels, s.Sum.Seconds())
+	writeSample(b, name+"_count", labels, float64(cum))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

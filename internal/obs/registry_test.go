@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryGolden locks the exposition byte-for-byte on a small registry:
+// family ordering, label rendering, cumulative buckets with empty edges
+// elided, and seconds-valued le bounds.
+func TestRegistryGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", `endpoint="check"`, "Requests.")
+	c.Add(3)
+	r.GaugeFunc("test_depth", "", "Depth.", func() float64 { return 2.5 })
+	h := r.Histogram("test_latency_seconds", "", "Latency.")
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(30 * time.Microsecond)
+
+	want := `# HELP test_depth Depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1.28e-07"} 2
+test_latency_seconds_bucket{le="2.56e-07"} 2
+test_latency_seconds_bucket{le="5.12e-07"} 2
+test_latency_seconds_bucket{le="1.024e-06"} 2
+test_latency_seconds_bucket{le="2.048e-06"} 2
+test_latency_seconds_bucket{le="4.096e-06"} 2
+test_latency_seconds_bucket{le="8.192e-06"} 2
+test_latency_seconds_bucket{le="1.6384e-05"} 2
+test_latency_seconds_bucket{le="3.2768e-05"} 3
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 3.02e-05
+test_latency_seconds_count 3
+# HELP test_requests_total Requests.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="check"} 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("golden exposition fails its own validator: %v", err)
+	}
+}
+
+func TestRegistryEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("test_latency_seconds", "", "Latency.")
+	r.Counter("test_total", "", "T.").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `test_latency_seconds_bucket{le="+Inf"} 0`) {
+		t.Errorf("empty histogram must still emit its +Inf bucket:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("empty-histogram exposition invalid: %v", err)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", `a="1"`, "")
+	mustPanic("duplicate series", func() { r.Counter("dup_total", `a="1"`, "") })
+	mustPanic("kind mismatch", func() { r.Histogram("dup_total", `a="2"`, "") })
+	mustPanic("bad name", func() { r.Counter("1bad", "", "") })
+	mustPanic("empty name", func() { r.Counter("", "", "") })
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := []string{
+		"a_total 1\n",
+		"# HELP a_total help text\n# TYPE a_total counter\na_total{x=\"y\"} 5 1700000000\n",
+		"a 1\nb NaN\nc +Inf\nd -Inf\ne 1.5e-3\n",
+		"a{l=\"esc\\\\ape\\\"d\\n\"} 1\n",
+		"# just a comment\na 1\n",
+	}
+	for _, in := range good {
+		if err := ValidateExposition(strings.NewReader(in)); err != nil {
+			t.Errorf("valid exposition rejected: %v\ninput: %q", err, in)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := map[string]string{
+		"empty":               "",
+		"comments only":       "# HELP a_total x\n# TYPE a_total counter\n",
+		"bad metric name":     "1bad 1\n",
+		"bad value":           "a one\n",
+		"bad timestamp":       "a 1 soon\n",
+		"missing value":       "a\n",
+		"extra field":         "a 1 2 3\n",
+		"unterminated labels": "a{x=\"y\" 1\n",
+		"bad label name":      "a{1x=\"y\"} 1\n",
+		"unquoted value":      "a{x=y} 1\n",
+		"bad escape":          "a{x=\"\\q\"} 1\n",
+		"duplicate series":    "a{x=\"y\"} 1\na{x=\"y\"} 2\n",
+		"duplicate TYPE":      "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"duplicate HELP":      "# HELP a x\n# HELP a y\na 1\n",
+		"TYPE after samples":  "a 1\n# TYPE a counter\n",
+		"unknown type":        "# TYPE a enum\na 1\n",
+		"malformed TYPE":      "# TYPE a\na 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_sum 1\nh_count 1\n",
+		"le out of order": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"not cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 3\n",
+	}
+	for name, in := range bad {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: invalid exposition accepted\ninput: %q", name, in)
+		}
+	}
+}
+
+// TestValidateHistogramSeparatesSeries checks that histogram invariants are
+// tracked per label set, not smeared across one family.
+func TestValidateHistogramSeparatesSeries(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		"h_bucket{x=\"a\",le=\"0.2\"} 5\n" +
+		"h_bucket{x=\"a\",le=\"+Inf\"} 5\n" +
+		"h_count{x=\"a\"} 5\n" +
+		"h_bucket{x=\"b\",le=\"0.1\"} 1\n" + // smaller le and count than series a
+		"h_bucket{x=\"b\",le=\"+Inf\"} 1\n" +
+		"h_count{x=\"b\"} 1\n"
+	if err := ValidateExposition(strings.NewReader(in)); err != nil {
+		t.Errorf("per-series histogram state leaked across label sets: %v", err)
+	}
+}

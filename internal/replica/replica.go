@@ -30,9 +30,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bdd"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Do after the pool has been closed.
@@ -109,11 +111,31 @@ type Pool struct {
 
 	swaps atomic.Uint64
 	stats []atomic.Pointer[Stats]
+
+	// metrics, when set, receives per-job latency observations. Written
+	// once before traffic (SetMetrics), read by Do and the workers.
+	metrics atomic.Pointer[Metrics]
 }
 
+// Metrics is the pool's hook into the observability layer: per-job queue
+// wait (submission to worker pickup) and run time histograms. All fields
+// may be nil to skip the corresponding observation.
+type Metrics struct {
+	// QueueWait observes submission-to-pickup latency per job.
+	QueueWait *obs.Histogram
+	// Run observes the job body's execution time (including any lazy
+	// version materialization it triggered).
+	Run *obs.Histogram
+}
+
+// SetMetrics installs latency instrumentation. Call it before the pool
+// serves traffic; jobs already in flight may be recorded partially.
+func (p *Pool) SetMetrics(m *Metrics) { p.metrics.Store(m) }
+
 type job struct {
-	fn  func(chk *core.Checker, epoch uint64)
-	err chan error
+	fn        func(chk *core.Checker, epoch uint64)
+	submitted time.Time // zero when the pool is uninstrumented
+	err       chan error
 }
 
 // New starts a pool of n workers serving v. Workers materialize their
@@ -173,6 +195,9 @@ func (p *Pool) Stats() []Stats {
 // built.
 func (p *Pool) Do(ctx context.Context, fn func(chk *core.Checker, epoch uint64)) error {
 	jb := job{fn: fn, err: make(chan error, 1)}
+	if p.metrics.Load() != nil {
+		jb.submitted = time.Now()
+	}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
@@ -212,6 +237,14 @@ func (p *Pool) worker(i int) {
 	var jobs uint64
 	var retired core.Stats // counters of checkers discarded by swaps
 	for jb := range p.jobs {
+		m := p.metrics.Load()
+		var picked time.Time
+		if m != nil {
+			picked = time.Now()
+			if m.QueueWait != nil && !jb.submitted.IsZero() {
+				m.QueueWait.Observe(picked.Sub(jb.submitted))
+			}
+		}
 		if latest := p.latest.Load(); cur != latest {
 			next, err := latest.newReplica()
 			if err != nil && chk == nil {
@@ -230,6 +263,9 @@ func (p *Pool) worker(i int) {
 			// the next publish retries the swap.
 		}
 		jb.fn(chk, cur.epoch)
+		if m != nil && m.Run != nil {
+			m.Run.Observe(time.Since(picked))
+		}
 		jobs++
 		p.stats[i].Store(&Stats{
 			Worker: i, Epoch: cur.epoch, Jobs: jobs,

@@ -1,19 +1,26 @@
 package service
 
 // http.go is the JSON wire surface of the daemon: POST /check, POST
-// /witnesses, POST /update for tuple batches, GET /healthz, and GET /statsz
-// with live checker/kernel/queue counters. Handlers run on the HTTP
-// server's goroutines; they only decode, submit to the admission queues and
-// encode — all kernel work happens in the worker.
+// /witnesses, POST /update for tuple batches, GET /healthz, GET /statsz
+// with live checker/kernel/queue counters, and GET /metricsz in Prometheus
+// text exposition. Handlers run on the HTTP server's goroutines; they only
+// decode, submit to the admission queues and encode — all kernel work
+// happens in the worker. Bodies are capped by Options.MaxBodyBytes (413
+// beyond it), decoding is strict (unknown fields and trailing data are 400s
+// naming the offence), and `?trace=1` on the POST endpoints returns the
+// request's per-stage spans.
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // CheckRequest asks for constraint validation. With neither Constraints nor
@@ -44,6 +51,34 @@ type CheckResult struct {
 // CheckResponse is the /check reply.
 type CheckResponse struct {
 	Results []CheckResult `json:"results"`
+	// Trace carries the request's per-stage spans when ?trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the wire form of a request trace: total handler time plus
+// the recorded stage spans.
+type TraceInfo struct {
+	TotalNS int64       `json:"total_ns"`
+	Spans   []TraceSpan `json:"spans"`
+}
+
+// TraceSpan is one traced stage. StartNS is the stage's offset from the
+// start of the request.
+type TraceSpan struct {
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+	// Kernel is the BDD-kernel counter movement the stage caused; absent for
+	// stages that touched no kernel.
+	Kernel *KernelDelta `json:"kernel,omitempty"`
+}
+
+// KernelDelta is the wire form of a stage's kernel counter movement.
+type KernelDelta struct {
+	NodesAllocated uint64 `json:"nodes_allocated,omitempty"`
+	GCRuns         int    `json:"gc_runs,omitempty"`
+	CacheHits      uint64 `json:"cache_hits,omitempty"`
+	Ops            uint64 `json:"ops,omitempty"`
 }
 
 // WitnessRequest asks for violating bindings of one constraint.
@@ -69,6 +104,8 @@ type WitnessResponse struct {
 	Constraint string    `json:"constraint"`
 	Method     string    `json:"method"`
 	Witnesses  []Witness `json:"witnesses"`
+	// Trace carries the request's per-stage spans when ?trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // UpdateTuple is one tuple-level mutation.
@@ -90,6 +127,8 @@ type UpdateRequest struct {
 type UpdateResponse struct {
 	Applied int    `json:"applied"`
 	Error   string `json:"error,omitempty"`
+	// Trace carries the request's per-stage spans when ?trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 // StatszResponse reports live server, checker and kernel counters. Checker
@@ -175,6 +214,10 @@ type KernelStats struct {
 	Ops          uint64 `json:"ops"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheEntries int    `json:"cache_entries"`
+	// NodesAllocated is monotonic (GC never lowers it), so deltas between
+	// two scrapes measure the work in between — the same figure traced
+	// requests report per stage.
+	NodesAllocated uint64 `json:"nodes_allocated"`
 }
 
 // HealthResponse is the /healthz reply.
@@ -191,7 +234,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
+}
+
+// traceFor arms a trace for the request: always when the client asked with
+// ?trace=1 (the spans go back in the response), and silently when the
+// slow-request log is on (the spans feed the log line if the request
+// crosses the threshold). wantTrace reports the explicit ask.
+func (s *Server) traceFor(r *http.Request) (tr *obs.Trace, wantTrace bool) {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		wantTrace = true
+	}
+	if wantTrace || s.opts.SlowRequest > 0 {
+		tr = obs.NewTrace()
+	}
+	return tr, wantTrace
+}
+
+// finishRequest observes the endpoint's latency histogram and emits the
+// slow-request log line when the total crosses the threshold.
+func (s *Server) finishRequest(endpoint string, start time.Time, tr *obs.Trace) {
+	d := time.Since(start)
+	if h := s.metrics.endpointHist(endpoint); h != nil {
+		h.Observe(d)
+	}
+	if s.opts.SlowRequest > 0 && d >= s.opts.SlowRequest {
+		s.metrics.slowRequests.Inc()
+		s.opts.SlowLog.Printf("slow request: endpoint=%s total=%v %s",
+			endpoint, d.Round(time.Microsecond), tr.Summary())
+	}
+}
+
+// toWireTrace converts the recorded spans for the response; nil unless the
+// client explicitly asked for the trace.
+func toWireTrace(tr *obs.Trace, wantTrace bool) *TraceInfo {
+	if tr == nil || !wantTrace {
+		return nil
+	}
+	spans := tr.Spans()
+	out := &TraceInfo{TotalNS: tr.Total().Nanoseconds(), Spans: make([]TraceSpan, len(spans))}
+	for i, sp := range spans {
+		ws := TraceSpan{Name: sp.Name, StartNS: sp.Start.Nanoseconds(), DurationNS: sp.Duration.Nanoseconds()}
+		if sp.Kernel != nil {
+			ws.Kernel = &KernelDelta{
+				NodesAllocated: sp.Kernel.NodesAllocated,
+				GCRuns:         sp.Kernel.GCRuns,
+				CacheHits:      sp.Kernel.CacheHits,
+				Ops:            sp.Kernel.Ops,
+			}
+		}
+		out.Spans[i] = ws
+	}
+	return out
 }
 
 // requestContext derives the job context: the client's context bounded by
@@ -206,27 +302,31 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.nChecks.Add(1)
+	start := time.Now()
+	tr, wantTrace := s.traceFor(r)
+	defer s.finishRequest("check", start, tr)
 	var req CheckRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	cts, err := s.resolve(req.Constraints, req.Text)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, 0)
+	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, 0, tr)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	resp := CheckResponse{Results: make([]CheckResult, len(rep.results))}
 	for i, res := range rep.results {
 		resp.Results[i] = toWireResult(res)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp.Trace = toWireTrace(tr, wantTrace)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func toWireResult(res core.Result) CheckResult {
@@ -249,8 +349,11 @@ func toWireResult(res core.Result) CheckResult {
 
 func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	s.nWitnesses.Add(1)
+	start := time.Now()
+	tr, wantTrace := s.traceFor(r)
+	defer s.finishRequest("witnesses", start, tr)
 	var req WitnessRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	var names []string
@@ -258,16 +361,16 @@ func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 		names = []string{req.Constraint}
 	}
 	if req.Constraint == "" && req.Text == "" {
-		httpError(w, errBadRequest("one of \"constraint\" or \"text\" is required"))
+		s.httpError(w, errBadRequest("one of \"constraint\" or \"text\" is required"))
 		return
 	}
 	cts, err := s.resolve(names, req.Text)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	if len(cts) != 1 {
-		httpError(w, errBadRequest("witness extraction takes exactly one constraint"))
+		s.httpError(w, errBadRequest("witness extraction takes exactly one constraint"))
 		return
 	}
 	limit := req.Limit
@@ -276,9 +379,9 @@ func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, limit)
+	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, limit, tr)
 	if err != nil {
-		httpError(w, err)
+		s.httpError(w, err)
 		return
 	}
 	resp := WitnessResponse{
@@ -289,17 +392,21 @@ func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	for i, ws := range rep.witnesses {
 		resp.Witnesses[i] = Witness{Vars: ws.Vars, Values: ws.Values}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp.Trace = toWireTrace(tr, wantTrace)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.nUpdateJobs.Add(1)
+	start := time.Now()
+	tr, wantTrace := s.traceFor(r)
+	defer s.finishRequest("update", start, tr)
 	var req UpdateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Updates) == 0 {
-		httpError(w, errBadRequest("empty update batch"))
+		s.httpError(w, errBadRequest("empty update batch"))
 		return
 	}
 	ups := make([]core.Update, len(req.Updates))
@@ -308,35 +415,45 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	applied, err := s.submitUpdate(ctx, ups)
+	applied, err := s.submitUpdate(ctx, ups, tr)
 	if err != nil {
 		status := statusFor(err)
-		writeJSON(w, status, UpdateResponse{Applied: applied, Error: err.Error()})
+		s.writeJSON(w, status, UpdateResponse{Applied: applied, Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, UpdateResponse{Applied: applied})
+	s.writeJSON(w, http.StatusOK, UpdateResponse{Applied: applied, Trace: toWireTrace(tr, wantTrace)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
 		UptimeMS: time.Since(s.started).Milliseconds(),
 	})
+}
+
+// handleMetricsz serves the Prometheus text exposition: the request/stage
+// histograms plus gauge callbacks over the worker-published snapshot and the
+// replica pool's per-worker stats. No live kernel is touched.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.observeResponse(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	cs := snap.checker
 	primary := KernelStats{
-		LiveNodes:    snap.kernel.Live,
-		PeakNodes:    snap.kernel.Peak,
-		Capacity:     snap.kernel.Capacity,
-		Vars:         snap.kernel.Vars,
-		Budget:       snap.kernel.Budget,
-		GCRuns:       snap.kernel.GCRuns,
-		Ops:          snap.kernel.Ops,
-		CacheHits:    snap.kernel.CacheHits,
-		CacheEntries: snap.kernel.CacheEntries,
+		LiveNodes:      snap.kernel.Live,
+		PeakNodes:      snap.kernel.Peak,
+		Capacity:       snap.kernel.Capacity,
+		Vars:           snap.kernel.Vars,
+		Budget:         snap.kernel.Budget,
+		GCRuns:         snap.kernel.GCRuns,
+		Ops:            snap.kernel.Ops,
+		CacheHits:      snap.kernel.CacheHits,
+		CacheEntries:   snap.kernel.CacheEntries,
+		NodesAllocated: snap.kernel.Allocs,
 	}
 	agg := primary
 	repl := ReplicationStats{
@@ -350,15 +467,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		repl.Swaps = s.pool.Swaps()
 		for _, ws := range s.pool.Stats() {
 			wk := KernelStats{
-				LiveNodes:    ws.Kernel.Live,
-				PeakNodes:    ws.Kernel.Peak,
-				Capacity:     ws.Kernel.Capacity,
-				Vars:         ws.Kernel.Vars,
-				Budget:       ws.Kernel.Budget,
-				GCRuns:       ws.Kernel.GCRuns,
-				Ops:          ws.Kernel.Ops,
-				CacheHits:    ws.Kernel.CacheHits,
-				CacheEntries: ws.Kernel.CacheEntries,
+				LiveNodes:      ws.Kernel.Live,
+				PeakNodes:      ws.Kernel.Peak,
+				Capacity:       ws.Kernel.Capacity,
+				Vars:           ws.Kernel.Vars,
+				Budget:         ws.Kernel.Budget,
+				GCRuns:         ws.Kernel.GCRuns,
+				Ops:            ws.Kernel.Ops,
+				CacheHits:      ws.Kernel.CacheHits,
+				CacheEntries:   ws.Kernel.CacheEntries,
+				NodesAllocated: ws.Kernel.Allocs,
 			}
 			repl.Workers = append(repl.Workers, ReplicaWorkerStats{
 				Worker: ws.Worker, Epoch: ws.Epoch, Jobs: ws.Jobs, Kernel: wk,
@@ -370,6 +488,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			agg.Ops += wk.Ops
 			agg.CacheHits += wk.CacheHits
 			agg.CacheEntries += wk.CacheEntries
+			agg.NodesAllocated += wk.NodesAllocated
 			cs.BDDChecks += ws.Checker.BDDChecks
 			cs.FDFastPath += ws.Checker.FDFastPath
 			cs.SQLFallbacks += ws.Checker.SQLFallbacks
@@ -412,19 +531,44 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Tables:        snap.tables,
 		Constraints:   s.Constraints(),
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // plumbing
 
-func decode(w http.ResponseWriter, r *http.Request, into any) bool {
-	dec := json.NewDecoder(r.Body)
+// decode reads one strict JSON document from the request body: the body is
+// capped at Options.MaxBodyBytes (413 past it), unknown fields are rejected
+// naming the field, and trailing data after the document is a 400 — a
+// concatenated second document would otherwise be silently dropped, masking
+// client framing bugs.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := r.Body
+	if s.opts.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		httpError(w, errBadRequest("bad request body: "+err.Error()))
+		s.httpError(w, decodeError(err))
+		return false
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		s.httpError(w, errBadRequest("trailing data after JSON body"))
 		return false
 	}
 	return true
+}
+
+// decodeError shapes a JSON decoding failure for the client: body-cap hits
+// keep their *http.MaxBytesError identity (mapped to 413 by statusFor) and
+// the stdlib's "json: " prefix is stripped so the envelope reads
+// `unknown field "frobnicate"` rather than leaking package names.
+func decodeError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return err
+	}
+	return errBadRequest("bad request body: " + strings.TrimPrefix(err.Error(), "json: "))
 }
 
 type badRequestError string
@@ -433,7 +577,10 @@ func errBadRequest(msg string) error    { return badRequestError(msg) }
 func (e badRequestError) Error() string { return string(e) }
 
 func statusFor(err error) int {
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -443,11 +590,12 @@ func statusFor(err error) int {
 	}
 }
 
-func httpError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.metrics.observeResponse(status)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)

@@ -1,0 +1,353 @@
+package service_test
+
+// obs_test.go covers the observability surface and the HTTP hardening: body
+// caps (413), strict decoding (400 naming the offence), /metricsz validity,
+// traced requests (?trace=1) with per-stage spans whose kernel deltas match
+// /statsz movement, and the slow-request log.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func TestBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{MaxBodyBytes: 64})
+	big := `{"text": "` + strings.Repeat("x", 500) + `"}`
+	resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &envelope); err != nil || envelope.Error == "" {
+		t.Fatalf("413 reply %q is not the standard error envelope (err=%v)", raw, err)
+	}
+
+	// A body under the cap still works.
+	var ok service.CheckResponse
+	if status := post(t, ts.URL+"/check", map[string]any{}, &ok); status != http.StatusOK {
+		t.Fatalf("small body status = %d, want 200", status)
+	}
+}
+
+func TestDecodeRejectsUnknownField(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{})
+	resp, err := http.Post(ts.URL+"/check", "application/json",
+		strings.NewReader(`{"frobnicate": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `unknown field \"frobnicate\"`) &&
+		!strings.Contains(string(raw), `unknown field "frobnicate"`) {
+		t.Fatalf("400 reply %q does not name the offending field", raw)
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{})
+	for _, body := range []string{
+		`{} {"constraints": ["nj_codes"]}`, // a silently dropped second document
+		`{} garbage`,
+	} {
+		resp, err := http.Post(ts.URL+"/check", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+		if !strings.Contains(string(raw), "trailing data") {
+			t.Fatalf("body %q: reply %q does not mention trailing data", body, raw)
+		}
+	}
+}
+
+func scrapeMetrics(t *testing.T, ts string) string {
+	t.Helper()
+	resp, err := http.Get(ts + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metricsz status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metricsz content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestMetricsz(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		replicas int
+	}{
+		{"replicated", 2},
+		{"primary-only", -1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, service.Options{Replicas: tc.replicas})
+
+			// Exercise every endpoint so the counters move.
+			var chk service.CheckResponse
+			post(t, ts.URL+"/check", map[string]any{}, &chk)
+			var wit service.WitnessResponse
+			post(t, ts.URL+"/witnesses", map[string]any{"constraint": "nj_codes"}, &wit)
+			// The tuple reuses existing attribute values so the incremental
+			// maintenance path accepts it.
+			var upd service.UpdateResponse
+			post(t, ts.URL+"/update", map[string]any{"updates": []map[string]any{
+				{"table": "CUST", "op": "insert", "values": []string{"Oshawa", "905", "Ontario"}},
+			}}, &upd)
+
+			body := scrapeMetrics(t, ts.URL)
+			if err := obs.ValidateExposition(strings.NewReader(body)); err != nil {
+				t.Fatalf("/metricsz is not valid exposition: %v\n%s", err, body)
+			}
+			mustContain := []string{
+				`cv_requests_total{endpoint="check"} 1`,
+				`cv_requests_total{endpoint="witnesses"} 1`,
+				`cv_requests_total{endpoint="update"} 1`,
+				`cv_update_tuples_total 1`,
+				`# TYPE cv_request_duration_seconds histogram`,
+				`cv_request_duration_seconds_count{endpoint="check"} 1`,
+				`# TYPE cv_stage_duration_seconds histogram`,
+				`cv_kernel_live_nodes{kernel="primary"}`,
+				`cv_kernel_nodes_allocated_total{kernel="primary"}`,
+				`cv_checker_decisions_total{method="bdd"}`,
+				`cv_http_responses_total{class="2xx"}`,
+				`cv_queue_depth{queue="checks"}`,
+				`cv_uptime_seconds`,
+			}
+			if tc.replicas > 0 {
+				mustContain = append(mustContain,
+					`cv_replica_pool_size 2`,
+					`cv_kernel_live_nodes{kernel="replica-0"}`,
+					`cv_kernel_live_nodes{kernel="replica-1"}`,
+					`cv_replica_checks_total`,
+					`# TYPE cv_replica_queue_wait_seconds histogram`,
+				)
+			} else if strings.Contains(body, "cv_replica_pool_size") {
+				t.Error("replica families present with replication disabled")
+			}
+			for _, want := range mustContain {
+				if !strings.Contains(body, want) {
+					t.Errorf("/metricsz missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+func spansByName(tr *service.TraceInfo) map[string][]service.TraceSpan {
+	out := map[string][]service.TraceSpan{}
+	for _, sp := range tr.Spans {
+		out[sp.Name] = append(out[sp.Name], sp)
+	}
+	return out
+}
+
+// TestTracedCheckPrimary drives a traced /check through the primary worker
+// (replication off) and checks the acceptance criteria: every stage present
+// with non-negative timings, spans tile within the request total, and the
+// spans' kernel deltas agree with the /statsz counter movement.
+func TestTracedCheckPrimary(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Replicas: -1})
+
+	var before service.StatszResponse
+	get(t, ts.URL+"/statsz", &before)
+
+	var resp service.CheckResponse
+	if status := post(t, ts.URL+"/check?trace=1", map[string]any{}, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+
+	var after service.StatszResponse
+	get(t, ts.URL+"/statsz", &after)
+
+	if resp.Trace.TotalNS <= 0 {
+		t.Errorf("trace total = %d, want > 0", resp.Trace.TotalNS)
+	}
+	var sum int64
+	var kernelOps, kernelAllocs uint64
+	for _, sp := range resp.Trace.Spans {
+		if sp.StartNS < 0 || sp.DurationNS < 0 {
+			t.Errorf("span %s has negative timing: %+v", sp.Name, sp)
+		}
+		if sp.StartNS+sp.DurationNS > resp.Trace.TotalNS {
+			t.Errorf("span %s ends at %d, past the request total %d",
+				sp.Name, sp.StartNS+sp.DurationNS, resp.Trace.TotalNS)
+		}
+		sum += sp.DurationNS
+		if sp.Kernel != nil {
+			kernelOps += sp.Kernel.Ops
+			kernelAllocs += sp.Kernel.NodesAllocated
+		}
+	}
+	byName := spansByName(resp.Trace)
+	for _, stage := range []string{"queue_wait", "eval:nj_codes", "eval:toronto_ontario"} {
+		if len(byName[stage]) == 0 {
+			t.Errorf("trace missing stage %s: %+v", stage, resp.Trace.Spans)
+		}
+	}
+	// The stages run sequentially on the worker, so their sum cannot exceed
+	// the handler total.
+	if sum > resp.Trace.TotalNS {
+		t.Errorf("span durations sum to %d, more than the request total %d", sum, resp.Trace.TotalNS)
+	}
+	// With no concurrent traffic, the traced spans account for the primary
+	// kernel's counter movement exactly.
+	if gotOps := after.PrimaryKernel.Ops - before.PrimaryKernel.Ops; gotOps != kernelOps {
+		t.Errorf("statsz ops moved %d, trace spans account for %d", gotOps, kernelOps)
+	}
+	if gotAllocs := after.PrimaryKernel.NodesAllocated - before.PrimaryKernel.NodesAllocated; gotAllocs != kernelAllocs {
+		t.Errorf("statsz nodes_allocated moved %d, trace spans account for %d", gotAllocs, kernelAllocs)
+	}
+
+	// Without ?trace=1 the response carries no trace.
+	var plain service.CheckResponse
+	post(t, ts.URL+"/check", map[string]any{}, &plain)
+	if plain.Trace != nil {
+		t.Error("untraced request returned a trace")
+	}
+}
+
+func TestTracedCheckReplica(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{Replicas: 2})
+	var resp service.CheckResponse
+	if status := post(t, ts.URL+"/check?trace=1", map[string]any{}, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	byName := spansByName(resp.Trace)
+	for _, stage := range []string{"queue_wait", "eval:nj_codes", "eval:toronto_ontario"} {
+		if len(byName[stage]) == 0 {
+			t.Errorf("replica trace missing stage %s: %+v", stage, resp.Trace.Spans)
+		}
+	}
+	// Cache-cold replica evaluation must attribute kernel work somewhere.
+	var allocs uint64
+	for _, sp := range resp.Trace.Spans {
+		if sp.Kernel != nil {
+			allocs += sp.Kernel.NodesAllocated
+		}
+	}
+	if allocs == 0 {
+		t.Error("traced replica check reported no kernel allocation at all")
+	}
+}
+
+func TestTracedWitnessesAndUpdate(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{})
+	var wit service.WitnessResponse
+	if status := post(t, ts.URL+"/witnesses?trace=1",
+		map[string]any{"constraint": "nj_codes"}, &wit); status != http.StatusOK {
+		t.Fatalf("witnesses status = %d", status)
+	}
+	if wit.Trace == nil || len(spansByName(wit.Trace)["witness_enum"]) == 0 {
+		t.Fatalf("witness trace missing witness_enum: %+v", wit.Trace)
+	}
+
+	var upd service.UpdateResponse
+	if status := post(t, ts.URL+"/update?trace=1", map[string]any{"updates": []map[string]any{
+		{"table": "CUST", "op": "insert", "values": []string{"Oshawa", "905", "Ontario"}},
+	}}, &upd); status != http.StatusOK {
+		t.Fatalf("update status = %d, %+v", status, upd)
+	}
+	if upd.Trace == nil {
+		t.Fatal("update trace missing")
+	}
+	byName := spansByName(upd.Trace)
+	for _, stage := range []string{"queue_wait", "apply", "freeze"} {
+		if len(byName[stage]) == 0 {
+			t.Errorf("update trace missing stage %s: %+v", stage, upd.Trace.Spans)
+		}
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: the slow-request line is written
+// from the handler's deferred finishRequest, which can race the client
+// reading the response.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+func TestSlowRequestLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, service.Options{
+		SlowRequest: time.Nanosecond, // everything is slow
+		SlowLog:     log.New(&buf, "", 0),
+	})
+	var resp service.CheckResponse
+	post(t, ts.URL+"/check", map[string]any{"constraints": []string{"nj_codes"}}, &resp)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		out := buf.String()
+		if strings.Contains(out, "slow request") &&
+			strings.Contains(out, "endpoint=check") &&
+			strings.Contains(out, "eval:nj_codes=") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow-request line never appeared; log so far: %q", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The slow-log trace is internal: the response must not carry it.
+	if resp.Trace != nil {
+		t.Error("slow-log-armed request leaked its trace into the response")
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+	if !strings.Contains(body, "cv_slow_requests_total 1") {
+		t.Error("cv_slow_requests_total did not count the slow request")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/replica"
 )
 
@@ -74,7 +76,20 @@ type Options struct {
 	// /witnesses. Zero selects GOMAXPROCS; a negative value disables
 	// replication, serializing reads behind the primary worker.
 	Replicas int
+	// MaxBodyBytes caps the size of accepted request bodies; larger bodies
+	// are rejected with 413. 8 MiB when zero; negative disables the cap.
+	MaxBodyBytes int64
+	// SlowRequest, when positive, traces every request and logs those whose
+	// total time reaches the threshold, with per-stage spans and kernel
+	// deltas. Zero disables the slow-request log.
+	SlowRequest time.Duration
+	// SlowLog receives slow-request lines; log.Default() when nil.
+	SlowLog *log.Logger
 }
+
+// DefaultMaxBodyBytes is the request-body cap applied when
+// Options.MaxBodyBytes is zero.
+const DefaultMaxBodyBytes = 8 << 20
 
 func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
@@ -88,6 +103,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Replicas == 0 {
 		o.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.SlowLog == nil {
+		o.SlowLog = log.Default()
 	}
 	return o
 }
@@ -117,6 +138,11 @@ type Server struct {
 	replicaOK atomic.Bool
 	epoch     uint64
 
+	// metrics is the observability surface behind /metricsz: request and
+	// stage latency histograms, response counters, and gauge callbacks over
+	// the published snapshots. Built once in New, read lock-free after.
+	metrics *serverMetrics
+
 	// Request counters, incremented from handler goroutines.
 	nChecks          atomic.Uint64
 	nWitnesses       atomic.Uint64
@@ -142,7 +168,7 @@ type snapshot struct {
 
 type kernelView struct {
 	Live, Peak, Capacity, Vars, Budget, GCRuns int
-	Ops, CacheHits                             uint64
+	Ops, CacheHits, Allocs                     uint64
 	CacheEntries                               int
 }
 
@@ -196,6 +222,13 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 			}
 		}
 	}
+	s.metrics = newServerMetrics(s) // after pool setup: per-replica gauges
+	if s.pool != nil {
+		s.pool.SetMetrics(&replica.Metrics{
+			QueueWait: s.metrics.replicaQueueWait,
+			Run:       s.metrics.replicaRun,
+		})
+	}
 	s.publish(true) // safe: the worker has not started yet
 	go s.run()
 	return s, nil
@@ -224,7 +257,11 @@ type checkJob struct {
 	// witnessLimit, when positive, turns the job into witness extraction
 	// for cts[0].
 	witnessLimit int
-	reply        chan checkReply
+	// submitted is the admission-queue entry time, for the queue_wait stage.
+	submitted time.Time
+	// trace collects the job's stage spans; nil when the request is untraced.
+	trace *obs.Trace
+	reply chan checkReply
 }
 
 type checkReply struct {
@@ -235,8 +272,12 @@ type checkReply struct {
 }
 
 type updateJob struct {
-	ctx   context.Context
-	ups   []core.Update
+	ctx context.Context
+	ups []core.Update
+	// submitted is the admission-queue entry time, for the queue_wait stage.
+	submitted time.Time
+	// trace collects the job's stage spans; nil when the request is untraced.
+	trace *obs.Trace
 	reply chan updateReply
 }
 
@@ -292,6 +333,7 @@ func (s *Server) gatherUpdates(first *updateJob) []*updateJob {
 // does not hold back the others.
 func (s *Server) applyBatch(batch []*updateJob) {
 	s.nBatches.Add(1)
+	k := s.chk.Store().Kernel()
 	replies := make([]updateReply, len(batch))
 	for i, u := range batch {
 		if err := u.ctx.Err(); err != nil {
@@ -299,13 +341,32 @@ func (s *Server) applyBatch(batch []*updateJob) {
 			replies[i] = updateReply{err: err}
 			continue
 		}
+		applyStart := time.Now()
+		if !u.submitted.IsZero() {
+			wait := applyStart.Sub(u.submitted)
+			s.metrics.stQueueWait.Observe(wait)
+			u.trace.Record("queue_wait", u.submitted, wait, nil)
+		}
+		before := k.Stats()
 		applied, err := s.chk.Apply(u.ups)
+		d := time.Since(applyStart)
+		s.metrics.stApply.Observe(d)
+		delta := k.Stats().DeltaSince(before)
+		u.trace.Record("apply", applyStart, d, &delta)
 		s.nUpdateTuples.Add(uint64(applied))
 		replies[i] = updateReply{applied: applied, err: err}
 	}
+	// One freeze covers the whole coalesced round; every job in the batch
+	// waited on it, so each trace carries the span.
+	freezeStart := time.Now()
+	before := k.Stats()
 	s.publishVersion()
 	s.publish(true)
+	fd := time.Since(freezeStart)
+	s.metrics.stFreeze.Observe(fd)
+	delta := k.Stats().DeltaSince(before)
 	for i, u := range batch {
+		u.trace.Record("freeze", freezeStart, fd, &delta)
 		u.reply <- replies[i]
 	}
 }
@@ -332,6 +393,11 @@ func (s *Server) publishVersion() {
 // budget. The stats snapshot is refreshed before the reply goes out, so a
 // client that has its answer reads its own effects from /statsz.
 func (s *Server) runCheck(j *checkJob) {
+	if !j.submitted.IsZero() {
+		wait := time.Since(j.submitted)
+		s.metrics.stQueueWait.Observe(wait)
+		j.trace.Record("queue_wait", j.submitted, wait, nil)
+	}
 	if err := j.ctx.Err(); err != nil {
 		s.nDeadlineRejects.Add(1)
 		j.reply <- checkReply{err: err}
@@ -340,7 +406,7 @@ func (s *Server) runCheck(j *checkJob) {
 	opts := core.CheckOptions{NodeBudget: s.budgetFor(j.ctx, j.budget)}
 	var rep checkReply
 	if j.witnessLimit > 0 {
-		rep = s.runWitnesses(j.cts[0], j.witnessLimit, opts)
+		rep = s.runWitnesses(j.cts[0], j.witnessLimit, opts, j.trace)
 	} else {
 		results := make([]core.Result, 0, len(j.cts))
 		for _, ct := range j.cts {
@@ -350,7 +416,10 @@ func (s *Server) runCheck(j *checkJob) {
 				results = append(results, core.Result{Constraint: ct, Err: err})
 				continue
 			}
-			results = append(results, s.chk.CheckOneOpts(ct, opts))
+			evalStart := j.trace.Begin()
+			res := s.chk.CheckOneOpts(ct, opts)
+			s.observeResult(res, evalStart, j.trace)
+			results = append(results, res)
 		}
 		rep = checkReply{results: results}
 	}
@@ -358,16 +427,41 @@ func (s *Server) runCheck(j *checkJob) {
 	j.reply <- rep
 }
 
+// observeResult feeds one validation's timings into the stage histograms and
+// the request trace: the result's SQL share becomes a sql:<name> span, the
+// remainder an eval:<name> span carrying the kernel delta (the SQL engine
+// never touches the kernel).
+func (s *Server) observeResult(res core.Result, evalStart time.Time, tr *obs.Trace) {
+	bddD := res.BDDDuration()
+	s.metrics.stEval.Observe(bddD)
+	tr.Record("eval:"+res.Constraint.Name, evalStart, bddD, &res.Kernel)
+	if res.SQLDuration > 0 {
+		s.metrics.stSQL.Observe(res.SQLDuration)
+		tr.Record("sql:"+res.Constraint.Name, evalStart.Add(bddD), res.SQLDuration, nil)
+	}
+}
+
 // runWitnesses extracts violating bindings from the BDD evaluation, falling
 // back to the compiled SQL violation query when the BDD path yields nothing
 // (missing index, budget, or an existence-mode constraint) — the same
 // two-step drill-down cvcheck performs.
-func (s *Server) runWitnesses(ct logic.Constraint, limit int, opts core.CheckOptions) checkReply {
+func (s *Server) runWitnesses(ct logic.Constraint, limit int, opts core.CheckOptions, tr *obs.Trace) checkReply {
+	k := s.chk.Store().Kernel()
+	enumStart := time.Now()
+	before := k.Stats()
 	ws, err := s.chk.ViolationWitnessesOpts(ct, limit, opts)
+	enumD := time.Since(enumStart)
+	s.metrics.stWitness.Observe(enumD)
+	delta := k.Stats().DeltaSince(before)
+	tr.Record("witness_enum", enumStart, enumD, &delta)
 	if err == nil && len(ws) > 0 {
 		return checkReply{witnesses: ws, witnessMethod: core.MethodBDD}
 	}
+	sqlStart := time.Now()
 	rows, rerr := s.chk.ViolatingRows(ct)
+	sqlD := time.Since(sqlStart)
+	s.metrics.stSQL.Observe(sqlD)
+	tr.Record("sql:"+ct.Name, sqlStart, sqlD, nil)
 	if rerr != nil {
 		if err != nil {
 			return checkReply{err: err}
@@ -423,7 +517,8 @@ func (s *Server) publish(full bool) {
 		kernel: kernelView{
 			Live: ks.Live, Peak: ks.Peak, Capacity: ks.Capacity,
 			Vars: ks.Vars, Budget: ks.Budget, GCRuns: ks.GCRuns,
-			Ops: ks.Ops, CacheHits: ks.CacheHits, CacheEntries: ks.CacheEntries,
+			Ops: ks.Ops, CacheHits: ks.CacheHits, Allocs: ks.Allocs,
+			CacheEntries: ks.CacheEntries,
 		},
 		checker: s.chk.Stats(),
 	}
@@ -477,19 +572,19 @@ func (s *Server) resolve(names []string, text string) ([]logic.Constraint, error
 
 // submitCheck serves a check (or witness) job: on the replicated read path
 // when the pool is healthy, behind the primary worker otherwise.
-func (s *Server) submitCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int) (checkReply, error) {
+func (s *Server) submitCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int, tr *obs.Trace) (checkReply, error) {
 	if s.pool != nil && s.replicaOK.Load() {
 		if witnessLimit > 0 {
-			if rep, ok := s.replicaWitnesses(ctx, cts[0], witnessLimit, budget); ok {
+			if rep, ok := s.replicaWitnesses(ctx, cts[0], witnessLimit, budget, tr); ok {
 				s.nReplicaWitness.Add(1)
 				return rep, nil
 			}
-		} else if rep, ok := s.replicaCheck(ctx, cts, budget); ok {
+		} else if rep, ok := s.replicaCheck(ctx, cts, budget, tr); ok {
 			s.nReplicaChecks.Add(1)
 			return rep, rep.err
 		}
 	}
-	return s.submitPrimaryCheck(ctx, cts, budget, witnessLimit)
+	return s.submitPrimaryCheck(ctx, cts, budget, witnessLimit, tr)
 }
 
 // replicaCheck runs a check job on some replica worker. Constraints the
@@ -497,16 +592,21 @@ func (s *Server) submitCheck(ctx context.Context, cts []logic.Constraint, budget
 // live tables — are rerouted to the primary worker and merged back by
 // position. ok is false when the pool could not take the job at all (closed
 // or failed materialization); the caller then retries on the primary.
-func (s *Server) replicaCheck(ctx context.Context, cts []logic.Constraint, budget int) (checkReply, bool) {
+func (s *Server) replicaCheck(ctx context.Context, cts []logic.Constraint, budget int, tr *obs.Trace) (checkReply, bool) {
 	results := make([]core.Result, len(cts))
 	opts := core.CheckOptions{NodeBudget: s.budgetFor(ctx, budget), NoSQLFallback: true}
+	submitted := tr.Begin()
 	err := s.pool.Do(ctx, func(chk *core.Checker, _ uint64) {
+		tr.Span("queue_wait", submitted)
 		for i, ct := range cts {
 			if cerr := ctx.Err(); cerr != nil {
 				results[i] = core.Result{Constraint: ct, Err: cerr}
 				continue
 			}
-			results[i] = chk.CheckOneOpts(ct, opts)
+			evalStart := tr.Begin()
+			res := chk.CheckOneOpts(ct, opts)
+			s.observeResult(res, evalStart, tr)
+			results[i] = res
 		}
 	})
 	if err != nil {
@@ -528,7 +628,7 @@ func (s *Server) replicaCheck(ctx context.Context, cts []logic.Constraint, budge
 		for j, i := range reroute {
 			sub[j] = cts[i]
 		}
-		rep, err := s.submitPrimaryCheck(ctx, sub, budget, 0)
+		rep, err := s.submitPrimaryCheck(ctx, sub, budget, 0, tr)
 		if err != nil {
 			return checkReply{err: err}, true
 		}
@@ -543,12 +643,21 @@ func (s *Server) replicaCheck(ctx context.Context, cts []logic.Constraint, budge
 // answer with at least one witness is served from the replica; everything
 // else (budget blown, missing index, or zero witnesses, which the primary
 // double-checks against the live tables via SQL) routes to the primary.
-func (s *Server) replicaWitnesses(ctx context.Context, ct logic.Constraint, limit, budget int) (checkReply, bool) {
+func (s *Server) replicaWitnesses(ctx context.Context, ct logic.Constraint, limit, budget int, tr *obs.Trace) (checkReply, bool) {
 	var ws []core.Witness
 	var werr error
 	opts := core.CheckOptions{NodeBudget: s.budgetFor(ctx, budget)}
+	submitted := tr.Begin()
 	err := s.pool.Do(ctx, func(chk *core.Checker, _ uint64) {
+		tr.Span("queue_wait", submitted)
+		k := chk.Store().Kernel()
+		enumStart := time.Now()
+		before := k.Stats()
 		ws, werr = chk.ViolationWitnessesOpts(ct, limit, opts)
+		enumD := time.Since(enumStart)
+		s.metrics.stWitness.Observe(enumD)
+		delta := k.Stats().DeltaSince(before)
+		tr.Record("witness_enum", enumStart, enumD, &delta)
 	})
 	if err != nil || werr != nil || len(ws) == 0 {
 		return checkReply{}, false
@@ -558,12 +667,14 @@ func (s *Server) replicaWitnesses(ctx context.Context, ct logic.Constraint, limi
 
 // submitPrimaryCheck queues a check (or witness) job on the primary worker
 // and waits for its reply.
-func (s *Server) submitPrimaryCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int) (checkReply, error) {
+func (s *Server) submitPrimaryCheck(ctx context.Context, cts []logic.Constraint, budget, witnessLimit int, tr *obs.Trace) (checkReply, error) {
 	j := &checkJob{
 		ctx:          ctx,
 		cts:          cts,
 		budget:       budget,
 		witnessLimit: witnessLimit,
+		submitted:    time.Now(),
+		trace:        tr,
 		reply:        make(chan checkReply, 1),
 	}
 	select {
@@ -587,8 +698,13 @@ func (s *Server) submitPrimaryCheck(ctx context.Context, cts []logic.Constraint,
 }
 
 // submitUpdate queues an update job and waits for its acknowledgement.
-func (s *Server) submitUpdate(ctx context.Context, ups []core.Update) (int, error) {
-	j := &updateJob{ctx: ctx, ups: ups, reply: make(chan updateReply, 1)}
+func (s *Server) submitUpdate(ctx context.Context, ups []core.Update, tr *obs.Trace) (int, error) {
+	j := &updateJob{
+		ctx: ctx, ups: ups,
+		submitted: time.Now(),
+		trace:     tr,
+		reply:     make(chan updateReply, 1),
+	}
 	select {
 	case s.updates <- j:
 	case <-ctx.Done():

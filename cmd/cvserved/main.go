@@ -10,7 +10,15 @@
 //	         -table CUST=cust.csv -table CONS=cons.csv \
 //	         -share city,areacode \
 //	         -constraints rules.txt [-order prob] [-budget 1000000] \
-//	         [-queue 64] [-timeout 30s] [-nodes-per-sec 0] [-replicas 0]
+//	         [-queue 64] [-timeout 30s] [-nodes-per-sec 0] [-replicas 0] \
+//	         [-data-dir /var/lib/cv -fsync batch -snapshot-every 64 -retain 4]
+//
+// With -data-dir, every acknowledged update batch is WAL-logged before its
+// acknowledgment and periodic snapshots seal the state; a restart with the
+// same -data-dir boots from snapshot + WAL replay, ignoring the CSV flags,
+// and /check accepts ?epoch=N for point-in-time reads at retained epochs.
+// A damaged or newer-format data directory refuses to start (no silent CSV
+// fallback). cvstore inspects, verifies and compacts the directory offline.
 //
 // Endpoints:
 //
@@ -41,9 +49,8 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/logic"
-	"repro/internal/relation"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 type tableFlag struct {
@@ -73,17 +80,29 @@ func main() {
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes, rejected with 413 beyond it (0 = 8 MiB default, negative = uncapped)")
 	slowReq := flag.Duration("slow-request", 0, "log requests slower than this with per-stage spans (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data-dir", "", "durability directory: WAL + epoch snapshots; warm restart prefers it over CSV")
+	fsyncFlag := flag.String("fsync", "batch", "WAL fsync policy: batch|interval|off")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "max time between fsyncs with -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 0, "write a snapshot after this many update batches (0 = default 64 when -data-dir is set)")
+	snapshotBytes := flag.Int64("snapshot-bytes", 0, "write a snapshot when the WAL reaches this size (0 = off)")
+	retain := flag.Int("retain", 0, "snapshots retained for ?epoch=N reads (0 = default 4)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	flag.Parse()
 
-	if len(tables) == 0 || *constraintsPath == "" {
+	// Without a data directory the CSV flags are mandatory; with one, a warm
+	// restart needs neither (boot validates the cold-start combination).
+	if *dataDir == "" && (len(tables) == 0 || *constraintsPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 	method, err := core.ParseOrderingMethod(*orderFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fsync, err := store.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,42 +114,34 @@ func main() {
 		}
 	}
 
-	cat := relation.NewCatalog()
-	for _, tf := range tables {
-		t, err := cat.ReadCSVFile(tf.name, tf.path, shared)
-		if err != nil {
-			fatal(err)
-		}
-		log.Printf("loaded %s: %d rows, %d columns", t.Name(), t.Len(), t.NumCols())
-	}
-
-	src, err := os.ReadFile(*constraintsPath)
+	res, err := boot(bootConfig{
+		tables:          tables,
+		shared:          shared,
+		constraintsPath: *constraintsPath,
+		method:          method,
+		budget:          *budget,
+		dataDir:         *dataDir,
+		fsync:           fsync,
+		fsyncInterval:   *fsyncInterval,
+		retain:          *retain,
+		logf:            log.Printf,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	constraints, err := logic.ParseConstraints(string(src))
-	if err != nil {
-		fatal(err)
-	}
 
-	chk := core.New(cat, core.Options{NodeBudget: *budget})
-	for _, tf := range tables {
-		ix, err := chk.BuildIndex(tf.name, tf.name, nil, method)
-		if err != nil {
-			log.Printf("index %s: %v (constraints on it fall back to SQL)", tf.name, err)
-			continue
-		}
-		log.Printf("index %s: %d nodes", tf.name, ix.NodeCount())
-	}
-
-	srv, err := service.New(chk, constraints, service.Options{
-		QueueDepth:     *queue,
-		MaxBatch:       *maxBatch,
-		DefaultTimeout: *timeout,
-		NodesPerSecond: *nodesPerSec,
-		Replicas:       *replicas,
-		MaxBodyBytes:   *maxBody,
-		SlowRequest:    *slowReq,
+	srv, err := service.New(res.chk, res.constraints, service.Options{
+		QueueDepth:           *queue,
+		MaxBatch:             *maxBatch,
+		DefaultTimeout:       *timeout,
+		NodesPerSecond:       *nodesPerSec,
+		Replicas:             *replicas,
+		MaxBodyBytes:         *maxBody,
+		SlowRequest:          *slowReq,
+		Store:                res.st,
+		SnapshotEveryBatches: *snapshotEvery,
+		SnapshotWALBytes:     *snapshotBytes,
+		InitialEpoch:         res.initialEpoch,
 	})
 	if err != nil {
 		fatal(err)
@@ -184,6 +195,11 @@ func main() {
 		fatal(err)
 	}
 	srv.Close()
+	if res.st != nil {
+		if err := res.st.Close(); err != nil {
+			log.Printf("closing data directory: %v", err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -3,9 +3,17 @@ package bdd
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrCorrupt is reported (wrapped) by Load for input that is not a
+// well-formed BDD file: bad magic, truncation mid-structure, out-of-range
+// node references, or implausible counts. Durability layers match it with
+// errors.Is to distinguish a damaged artifact (recoverable by falling back
+// to an older snapshot) from an environmental failure such as a read error.
+var ErrCorrupt = errors.New("bdd: corrupt or truncated BDD file")
 
 // io.go implements BDD serialization, so logical indices can be persisted
 // and reloaded without re-encoding the base relations. The format is a
@@ -89,28 +97,35 @@ func (k *Kernel) Save(w io.Writer, roots ...Ref) error {
 // variables as the saving kernel; nodes are interned, so loading into a
 // kernel that already holds equal subfunctions shares them. Load counts
 // against the node budget like any other operation.
+//
+// Load never trusts its input: malformed bytes produce an error wrapping
+// ErrCorrupt (never a panic), and declared counts never drive allocation
+// ahead of the bytes that back them.
 func (k *Kernel) Load(r io.Reader) ([]Ref, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(ioMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("bdd: reading magic: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorrupt, err)
 	}
 	if string(magic) != ioMagic {
-		return nil, fmt.Errorf("bdd: not a BDD file")
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	vars, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reading variable count: %w", ErrCorrupt, err)
+	}
+	if vars > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible variable count %d", ErrCorrupt, vars)
 	}
 	if int(vars) > k.numVars {
 		return nil, fmt.Errorf("bdd: file needs %d variables, kernel has %d", vars, k.numVars)
 	}
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reading node count: %w", ErrCorrupt, err)
 	}
 	if count > 1<<31 {
-		return nil, fmt.Errorf("bdd: implausible node count %d", count)
+		return nil, fmt.Errorf("%w: implausible node count %d", ErrCorrupt, count)
 	}
 	// Grow incrementally: the count is untrusted input and must not drive
 	// a huge up-front allocation.
@@ -125,18 +140,18 @@ func (k *Kernel) Load(r io.Reader) ([]Ref, error) {
 	for i := uint64(0); i < count; i++ {
 		level, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: node %d truncated: %w", ErrCorrupt, i, err)
 		}
 		lowID, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: node %d truncated: %w", ErrCorrupt, i, err)
 		}
 		highID, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: node %d truncated: %w", ErrCorrupt, i, err)
 		}
 		if level >= vars || lowID >= i+2 || highID >= i+2 {
-			return nil, fmt.Errorf("bdd: corrupt node %d", i)
+			return nil, fmt.Errorf("%w: node %d out of range", ErrCorrupt, i)
 		}
 		f := k.makeNode(uint32(level), refs[lowID], refs[highID])
 		if f == Invalid {
@@ -146,10 +161,10 @@ func (k *Kernel) Load(r io.Reader) ([]Ref, error) {
 	}
 	rootCount, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: reading root count: %w", ErrCorrupt, err)
 	}
 	if rootCount > 1<<31 {
-		return nil, fmt.Errorf("bdd: implausible root count %d", rootCount)
+		return nil, fmt.Errorf("%w: implausible root count %d", ErrCorrupt, rootCount)
 	}
 	rootInit := rootCount
 	if rootInit > 1<<16 {
@@ -159,10 +174,10 @@ func (k *Kernel) Load(r io.Reader) ([]Ref, error) {
 	for i := uint64(0); i < rootCount; i++ {
 		id, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: root %d truncated: %w", ErrCorrupt, i, err)
 		}
 		if id >= uint64(len(refs)) {
-			return nil, fmt.Errorf("bdd: corrupt root %d", i)
+			return nil, fmt.Errorf("%w: root %d out of range", ErrCorrupt, i)
 		}
 		roots = append(roots, refs[id])
 	}

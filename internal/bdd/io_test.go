@@ -2,6 +2,7 @@ package bdd_test
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -76,6 +77,90 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 	for _, src := range cases {
 		if _, err := k.Load(strings.NewReader(src)); err == nil {
 			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestLoadRejectsEveryTruncation chops a valid file at every byte boundary:
+// each prefix must produce an ErrCorrupt error (except the full file), never
+// a panic or an Invalid root.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 8})
+	f := k.Or(k.And(k.Var(0), k.Var(3)), k.And(k.NVar(5), k.Var(7)))
+	g := k.Xor(k.Var(1), k.Var(6))
+	var buf bytes.Buffer
+	if err := k.Save(&buf, f, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		k2 := bdd.New(bdd.Config{Vars: 8})
+		roots, err := k2.Load(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Fatalf("Load of %d/%d-byte prefix succeeded with %d roots", n, len(full), len(roots))
+		}
+		if !errors.Is(err, bdd.ErrCorrupt) {
+			t.Fatalf("Load of %d-byte prefix: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+	if _, err := k.Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("Load of the full file failed: %v", err)
+	}
+}
+
+// TestLoadSurvivesEveryByteCorruption flips every byte of a valid file in
+// turn. Each mutation must either fail with an error or load roots that are
+// healthy (evaluable, countable) — never panic, never return Invalid.
+func TestLoadSurvivesEveryByteCorruption(t *testing.T) {
+	k := bdd.New(bdd.Config{Vars: 8})
+	f := k.Or(k.And(k.Var(0), k.Var(3)), k.NVar(7))
+	var buf bytes.Buffer
+	if err := k.Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		for _, flip := range []byte{0xff, 0x01, 0x80} {
+			mut := append([]byte(nil), full...)
+			mut[i] ^= flip
+			k2 := bdd.New(bdd.Config{Vars: 8, NodeBudget: 4096})
+			roots, err := k2.Load(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			for _, r := range roots {
+				if r == bdd.Invalid {
+					t.Fatalf("byte %d ^ %#x: Load returned Invalid without error", i, flip)
+				}
+				k2.NodeCount(r)
+				k2.SatCount(r)
+			}
+		}
+	}
+}
+
+// TestLoadBoundsAllocation feeds headers that declare huge node and root
+// counts with no data behind them: Load must fail on the missing bytes
+// without allocating for the declared counts. The implausible-count guards
+// reject anything past 2^31 outright.
+func TestLoadBoundsAllocation(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"huge node count, no nodes", append([]byte("\x00BDD1\x08"),
+			0xff, 0xff, 0xff, 0x07)}, // count uvarint ≈ 2^30, then EOF
+		{"over-limit node count", append([]byte("\x00BDD1\x08"),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)}, // count > 2^31
+		{"huge var count", append([]byte("\x00BDD1"),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)}, // vars > 2^31
+		{"huge root count", append([]byte("\x00BDD1\x08\x00"),
+			0xff, 0xff, 0xff, 0x07)}, // 0 nodes, root count ≈ 2^30, then EOF
+	}
+	for _, tc := range cases {
+		k := bdd.New(bdd.Config{Vars: 8})
+		if _, err := k.Load(bytes.NewReader(tc.data)); !errors.Is(err, bdd.ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", tc.name, err)
 		}
 	}
 }

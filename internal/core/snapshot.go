@@ -74,6 +74,37 @@ func (c *Checker) SnapshotIndices() []IndexSnapshot {
 // snapshotted tables. src is only read, so many replicas can adopt from one
 // frozen source concurrently.
 func (c *Checker) AdoptIndices(src *bdd.Kernel, snaps []IndexSnapshot) error {
+	c.raiseVarsFor(snaps)
+	roots := make([]bdd.Ref, len(snaps))
+	for i, s := range snaps {
+		roots[i] = s.Root
+	}
+	copied, err := src.CopyTo(c.store.Kernel(), roots...)
+	if err != nil {
+		return fmt.Errorf("core: adopting indices: %w", err)
+	}
+	return c.adoptSnapshots(snaps, copied)
+}
+
+// AdoptOwnedIndices registers snapshotted indices whose roots already live
+// in this checker's kernel — the durability layer's restore path, which
+// loads the roots with bdd.Load before re-registering blocks and indices.
+// Like AdoptIndices, the checker must be fresh and its catalog must contain
+// the snapshotted tables; the kernel's variable count is raised to cover
+// every block (the restore path raises it before Load, so this is a no-op
+// there).
+func (c *Checker) AdoptOwnedIndices(snaps []IndexSnapshot) error {
+	c.raiseVarsFor(snaps)
+	roots := make([]bdd.Ref, len(snaps))
+	for i, s := range snaps {
+		roots[i] = s.Root
+	}
+	return c.adoptSnapshots(snaps, roots)
+}
+
+// raiseVarsFor grows the kernel's variable count to cover every block of the
+// snapshots, so adopted blocks land at their original positions.
+func (c *Checker) raiseVarsFor(snaps []IndexSnapshot) {
 	k := c.store.Kernel()
 	maxVar := -1
 	for _, s := range snaps {
@@ -88,14 +119,11 @@ func (c *Checker) AdoptIndices(src *bdd.Kernel, snaps []IndexSnapshot) error {
 	if maxVar >= k.NumVars() {
 		k.AddVars(maxVar + 1 - k.NumVars())
 	}
-	roots := make([]bdd.Ref, len(snaps))
-	for i, s := range snaps {
-		roots[i] = s.Root
-	}
-	copied, err := src.CopyTo(k, roots...)
-	if err != nil {
-		return fmt.Errorf("core: adopting indices: %w", err)
-	}
+}
+
+// adoptSnapshots registers blocks and indices for snaps whose roots (parallel
+// slice, refs of this checker's kernel) have already been transferred.
+func (c *Checker) adoptSnapshots(snaps []IndexSnapshot, roots []bdd.Ref) error {
 	for i, s := range snaps {
 		t := c.catalog.Table(s.Table)
 		if t == nil {
@@ -106,7 +134,7 @@ func (c *Checker) AdoptIndices(src *bdd.Kernel, snaps []IndexSnapshot) error {
 			doms[j] = c.store.Space().AdoptDomain(b.Name, b.Size, b.Vars)
 		}
 		if _, err := c.store.Adopt(s.Name, t,
-			append([]int(nil), s.Cols...), append([]int(nil), s.Order...), doms, copied[i]); err != nil {
+			append([]int(nil), s.Cols...), append([]int(nil), s.Order...), doms, roots[i]); err != nil {
 			return fmt.Errorf("core: adopting index %q: %w", s.Name, err)
 		}
 		c.indexRegistry[s.Table] = append(c.indexRegistry[s.Table], s.Name)

@@ -240,6 +240,16 @@ func checkConstraint(primary, rep *core.Checker, ct logic.Constraint, step int) 
 	return nil, nil
 }
 
+// WitnessSet canonicalizes witnesses into a set of "var=val,…" keys,
+// order-independent on both the witness list and the variable order. Other
+// suites (the durability round-trip property test) reuse it to compare
+// witness sets across checkers.
+func WitnessSet(ws []core.Witness) map[string]bool { return witnessSet(ws) }
+
+// SetDiff describes the first few asymmetric elements of two WitnessSet
+// results, or "" when they are equal.
+func SetDiff(a, b map[string]bool) string { return setDiff(a, b) }
+
 // witnessSet canonicalizes witnesses into a set of "var=val,…" keys.
 func witnessSet(ws []core.Witness) map[string]bool {
 	out := make(map[string]bool, len(ws))

@@ -32,6 +32,12 @@ func (d *Domain) Name() string { return d.name }
 // active-domain size the paper's encodings and statistics are based on.
 func (d *Domain) Size() int { return len(d.values) }
 
+// Values returns the dictionary in code order: Values()[c] is the value of
+// code c. The returned slice must not be modified. Re-interning the values
+// of one domain into an empty domain in this order reproduces every code —
+// the property snapshot restore depends on.
+func (d *Domain) Values() []string { return d.values }
+
 // Intern returns the code for v, assigning the next free code if v is new.
 func (d *Domain) Intern(v string) int32 {
 	if c, ok := d.byVal[v]; ok {
@@ -115,6 +121,17 @@ func (c *Catalog) Clone() *Catalog {
 		nc.tables[name] = nt
 	}
 	return nc
+}
+
+// Domains lists the catalog's domains sorted by name. Serialization relies
+// on this being every domain any column refers to.
+func (c *Catalog) Domains() []*Domain {
+	out := make([]*Domain, 0, len(c.domains))
+	for _, d := range c.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }
 
 // Column declares one attribute of a table schema.

@@ -14,13 +14,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // CheckRequest asks for constraint validation. With neither Constraints nor
@@ -51,6 +54,10 @@ type CheckResult struct {
 // CheckResponse is the /check reply.
 type CheckResponse struct {
 	Results []CheckResult `json:"results"`
+	// Epoch is the epoch the results were evaluated at: the requested
+	// ?epoch=N for a historical read, the current epoch otherwise. Zero when
+	// the server runs without a durability store.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Trace carries the request's per-stage spans when ?trace=1.
 	Trace *TraceInfo `json:"trace,omitempty"`
 }
@@ -147,6 +154,11 @@ type StatszResponse struct {
 	Indices       []IndexStats     `json:"indices"`
 	Tables        []TableStats     `json:"tables"`
 	Constraints   []string         `json:"constraints"`
+	// Epoch is the last durably acknowledged update round; it survives
+	// restarts when a data directory is configured. Zero without one.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Durability reports the data directory's state; absent without one.
+	Durability *store.Status `json:"durability,omitempty"`
 }
 
 // ReplicationStats reports the replicated read path: pool size, current
@@ -314,19 +326,65 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, err)
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
-	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, 0, tr)
+	epoch, live, err := s.epochParam(r)
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
-	resp := CheckResponse{Results: make([]CheckResult, len(rep.results))}
-	for i, res := range rep.results {
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	var results []core.Result
+	if live {
+		rep, serr := s.submitCheck(ctx, cts, req.NodeBudget, 0, tr)
+		if serr != nil {
+			s.httpError(w, serr)
+			return
+		}
+		results = rep.results
+	} else {
+		histStart := tr.Begin()
+		results, err = s.checkAtEpoch(ctx, epoch, cts, req.NodeBudget)
+		tr.Span("epoch_check", histStart)
+		if err != nil {
+			s.httpError(w, err)
+			return
+		}
+	}
+	resp := CheckResponse{Results: make([]CheckResult, len(results)), Epoch: epoch}
+	for i, res := range results {
 		resp.Results[i] = toWireResult(res)
 	}
 	resp.Trace = toWireTrace(tr, wantTrace)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// epochParam interprets ?epoch=N. Absent, zero, or equal to the current
+// epoch selects the live read path; a smaller value selects the historical
+// path; a larger one is rejected (ErrFutureEpoch). The reported epoch is
+// zero when the server runs without a durability store.
+func (s *Server) epochParam(r *http.Request) (epoch uint64, live bool, err error) {
+	raw := r.URL.Query().Get("epoch")
+	cur := uint64(0)
+	if s.st != nil {
+		cur = s.epoch.Load()
+	}
+	if raw == "" {
+		return cur, true, nil
+	}
+	n, perr := strconv.ParseUint(raw, 10, 64)
+	if perr != nil {
+		return 0, false, errBadRequest("bad epoch parameter: " + raw)
+	}
+	if n == 0 || n == cur {
+		return cur, true, nil
+	}
+	if s.st == nil {
+		return 0, false, ErrNoHistory
+	}
+	if n > cur {
+		return 0, false, fmt.Errorf("%w: requested %d, current is %d", ErrFutureEpoch, n, cur)
+	}
+	return n, false, nil
 }
 
 func toWireResult(res core.Result) CheckResult {
@@ -531,6 +589,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Tables:        snap.tables,
 		Constraints:   s.Constraints(),
 	}
+	if s.st != nil {
+		resp.Epoch = s.epoch.Load()
+		st := s.st.Status()
+		resp.Durability = &st
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -585,6 +648,11 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, store.ErrEpochNotRetained), errors.Is(err, store.ErrNoSnapshot):
+		// The epoch existed but its snapshot has been pruned: gone, not absent.
+		return http.StatusGone
+	case errors.Is(err, ErrFutureEpoch):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // serverMetrics owns the histograms and counters observed on the hot path.
@@ -165,6 +166,30 @@ func newServerMetrics(s *Server) *serverMetrics {
 				}, true
 			})
 		}
+	}
+
+	if s.st != nil {
+		st := s.st
+		st.SetMetrics(&store.Metrics{
+			WALAppend:     r.Histogram("cv_wal_append_seconds", "", "WAL batch append (and fsync, per policy) latency in seconds."),
+			SnapshotWrite: r.Histogram("cv_snapshot_write_seconds", "", "Epoch snapshot write latency in seconds."),
+		})
+		r.CounterFunc("cv_wal_appends_total", "", "Update batches appended to the WAL.", st.WALAppends)
+		r.CounterFunc("cv_wal_bytes_total", "", "Bytes appended to the WAL.", st.WALBytesWritten)
+		r.CounterFunc("cv_wal_fsyncs_total", "", "WAL fsync calls issued.", st.Fsyncs)
+		r.CounterFunc("cv_wal_errors_total", "", "WAL appends that failed; the affected batches were not acknowledged.", s.nWALErrors.Load)
+		r.CounterFunc("cv_snapshot_errors_total", "", "Snapshot writes that failed (the WAL still covers the epochs).", s.nSnapshotErrors.Load)
+		r.CounterFunc("cv_recovery_replayed_records_total", "", "WAL records replayed during recovery at boot.", st.ReplayedRecords)
+		r.CounterFunc("cv_recovery_replayed_tuples_total", "", "Tuples replayed from the WAL during recovery at boot.", st.ReplayedTuples)
+		r.CounterFunc("cv_recovery_torn_tails_total", "", "Torn WAL tails detected and dropped during recovery.", st.TornTails)
+		r.CounterFunc("cv_recovery_dropped_bytes_total", "", "Bytes dropped from torn WAL tails during recovery.", st.DroppedTailBytes)
+		r.CounterFunc("cv_epoch_checks_total", "", "Point-in-time checks served at historical epochs.", s.nEpochChecks.Load)
+		r.GaugeFunc("cv_wal_size_bytes", "", "Current WAL file size in bytes.",
+			func() float64 { return float64(st.WALSize()) })
+		r.GaugeFunc("cv_snapshot_last_epoch", "", "Epoch of the newest durable snapshot.",
+			func() float64 { return float64(st.LastSnapshotEpoch()) })
+		r.GaugeFunc("cv_epoch", "", "Last durably acknowledged update epoch.",
+			func() float64 { return float64(s.epoch.Load()) })
 	}
 
 	return m

@@ -43,6 +43,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/replica"
+	"repro/internal/store"
 )
 
 // Service errors, mapped to HTTP statuses by the handlers.
@@ -85,6 +86,22 @@ type Options struct {
 	SlowRequest time.Duration
 	// SlowLog receives slow-request lines; log.Default() when nil.
 	SlowLog *log.Logger
+	// Store, when non-nil, makes acknowledged updates durable: the worker
+	// logs every applied batch to the store's WAL before acknowledging it
+	// and writes periodic snapshots. The store must be opened (and, on warm
+	// restart, recovered) by the caller before New.
+	Store *store.Store
+	// SnapshotEveryBatches triggers a snapshot after that many coalesced
+	// update rounds; when both triggers are zero and a Store is set, 64 is
+	// used. Negative disables the count trigger.
+	SnapshotEveryBatches int
+	// SnapshotWALBytes triggers a snapshot when the WAL reaches this size.
+	// Zero or negative disables the size trigger.
+	SnapshotWALBytes int64
+	// InitialEpoch seeds the epoch counter — the recovered epoch on warm
+	// restart, so epochs keep rising monotonically across process lives.
+	// Zero means a fresh start (epoch 1).
+	InitialEpoch uint64
 }
 
 // DefaultMaxBodyBytes is the request-body cap applied when
@@ -110,6 +127,9 @@ func (o Options) withDefaults() Options {
 	if o.SlowLog == nil {
 		o.SlowLog = log.Default()
 	}
+	if o.Store != nil && o.SnapshotEveryBatches == 0 && o.SnapshotWALBytes <= 0 {
+		o.SnapshotEveryBatches = 64
+	}
 	return o
 }
 
@@ -132,11 +152,25 @@ type Server struct {
 	// Replicated read path. pool is nil when replication is disabled or its
 	// bootstrap failed; replicaOK drops to false when a version freeze
 	// fails, sending reads back through the primary until a later freeze
-	// succeeds. epoch is owned by the worker goroutine (and New, before the
-	// worker starts).
+	// succeeds. epoch is advanced only by the worker goroutine (and New,
+	// before the worker starts) but read from handler goroutines for
+	// /statsz and ?epoch validation; it moves to a round's new value only
+	// after that round's WAL records are written, so any epoch a reader
+	// observes is fully durable.
 	pool      *replica.Pool
 	replicaOK atomic.Bool
-	epoch     uint64
+	epoch     atomic.Uint64
+
+	// Durability. st is nil when no data directory is configured.
+	// constraintText is the rendered registry persisted in every snapshot;
+	// batchesSinceSnap is worker-owned trigger state. The history fields
+	// back the ?epoch=N read path (see history.go).
+	st               *store.Store
+	constraintText   string
+	batchesSinceSnap int
+	histMu           sync.Mutex
+	history          map[uint64]*historyEntry
+	histOrder        []uint64
 
 	// metrics is the observability surface behind /metricsz: request and
 	// stage latency histograms, response counters, and gauge callbacks over
@@ -154,6 +188,9 @@ type Server struct {
 	nReplicaChecks   atomic.Uint64
 	nReplicaWitness  atomic.Uint64
 	nReroutes        atomic.Uint64
+	nEpochChecks     atomic.Uint64
+	nWALErrors       atomic.Uint64
+	nSnapshotErrors  atomic.Uint64
 }
 
 // snapshot is the worker-published view of checker and kernel state, read
@@ -209,13 +246,22 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 	}
 	s.checks = make(chan *checkJob, s.opts.QueueDepth)
 	s.updates = make(chan *updateJob, s.opts.QueueDepth)
+	s.st = s.opts.Store
+	if s.st != nil {
+		s.constraintText = store.RenderConstraints(constraints)
+		s.history = make(map[uint64]*historyEntry)
+	}
+	initialEpoch := uint64(1)
+	if s.opts.InitialEpoch > initialEpoch {
+		initialEpoch = s.opts.InitialEpoch
+	}
+	s.epoch.Store(initialEpoch)
 	if s.opts.Replicas > 0 {
 		// Freeze the bootstrap version while we still own the checker (the
 		// worker has not started). A failed freeze (e.g. the index copy
 		// does not fit the node budget) degrades to the single-worker read
 		// path instead of failing the server.
-		s.epoch = 1
-		if v, err := replica.NewVersion(chk, s.epoch); err == nil {
+		if v, err := replica.NewVersion(chk, initialEpoch); err == nil {
 			if pool, err := replica.New(s.opts.Replicas, v); err == nil {
 				s.pool = pool
 				s.replicaOK.Store(true)
@@ -326,14 +372,17 @@ func (s *Server) gatherUpdates(first *updateJob) []*updateJob {
 	return batch
 }
 
-// applyBatch applies each job of one coalesced round, publishes the
+// applyBatch applies each job of one coalesced round under a fresh epoch,
+// logs each job's applied prefix to the WAL (log-before-ack: a WAL append
+// failure is surfaced in that job's acknowledgment), publishes the
 // resulting index version to the replica pool, and only then acknowledges
-// the jobs: an acked update is visible to every subsequently submitted
-// check, whichever replica serves it. Jobs are independent: one failing job
-// does not hold back the others.
+// the jobs: an acked update is both durable and visible to every
+// subsequently submitted check, whichever replica serves it. Jobs are
+// independent: one failing job does not hold back the others.
 func (s *Server) applyBatch(batch []*updateJob) {
 	s.nBatches.Add(1)
 	k := s.chk.Store().Kernel()
+	epoch := s.epoch.Load() + 1
 	replies := make([]updateReply, len(batch))
 	for i, u := range batch {
 		if err := u.ctx.Err(); err != nil {
@@ -354,39 +403,80 @@ func (s *Server) applyBatch(batch []*updateJob) {
 		delta := k.Stats().DeltaSince(before)
 		u.trace.Record("apply", applyStart, d, &delta)
 		s.nUpdateTuples.Add(uint64(applied))
+		if s.st != nil && applied > 0 {
+			walStart := time.Now()
+			werr := s.st.AppendBatch(epoch, u.ups[:applied])
+			u.trace.Record("wal_append", walStart, time.Since(walStart), nil)
+			if werr != nil {
+				// The tuples are applied but not durable; the client must
+				// not treat the batch as acknowledged.
+				s.nWALErrors.Add(1)
+				s.opts.SlowLog.Printf("wal append failed (epoch %d): %v", epoch, werr)
+				if err == nil {
+					err = fmt.Errorf("service: batch applied but not logged: %w", werr)
+				}
+			}
+		}
 		replies[i] = updateReply{applied: applied, err: err}
 	}
 	// One freeze covers the whole coalesced round; every job in the batch
 	// waited on it, so each trace carries the span.
 	freezeStart := time.Now()
 	before := k.Stats()
-	s.publishVersion()
+	s.publishVersion(epoch)
 	s.publish(true)
 	fd := time.Since(freezeStart)
 	s.metrics.stFreeze.Observe(fd)
 	delta := k.Stats().DeltaSince(before)
+	// The epoch becomes visible only after its WAL records are on disk, so
+	// every epoch a /statsz or ?epoch reader can name is fully durable.
+	s.epoch.Store(epoch)
+	s.maybeSnapshot(epoch)
 	for i, u := range batch {
 		u.trace.Record("freeze", freezeStart, fd, &delta)
 		u.reply <- replies[i]
 	}
 }
 
-// publishVersion freezes the checker's current indices into a new epoch and
-// hands it to the replica pool. Only the worker calls it. A failed freeze
-// routes reads back through the primary (replicaOK) rather than serving
-// stale data; the next successful freeze re-enables the pool.
-func (s *Server) publishVersion() {
+// publishVersion freezes the checker's current indices as the given epoch
+// and hands them to the replica pool. Only the worker calls it. A failed
+// freeze routes reads back through the primary (replicaOK) rather than
+// serving stale data; the next successful freeze re-enables the pool.
+func (s *Server) publishVersion(epoch uint64) {
 	if s.pool == nil {
 		return
 	}
-	s.epoch++
-	v, err := replica.NewVersion(s.chk, s.epoch)
+	v, err := replica.NewVersion(s.chk, epoch)
 	if err != nil {
 		s.replicaOK.Store(false)
 		return
 	}
 	s.pool.Publish(v)
 	s.replicaOK.Store(true)
+}
+
+// maybeSnapshot writes a snapshot when a trigger fires: enough coalesced
+// rounds since the last one, or enough WAL bytes. Worker-only; a failed
+// snapshot is logged and counted but does not fail updates (the WAL still
+// covers them).
+func (s *Server) maybeSnapshot(epoch uint64) {
+	if s.st == nil {
+		return
+	}
+	s.batchesSinceSnap++
+	trigger := s.opts.SnapshotEveryBatches > 0 && s.batchesSinceSnap >= s.opts.SnapshotEveryBatches
+	if s.opts.SnapshotWALBytes > 0 && s.st.WALSize() >= s.opts.SnapshotWALBytes {
+		trigger = true
+	}
+	if !trigger {
+		return
+	}
+	if err := s.st.WriteSnapshot(s.chk, s.constraintText, epoch); err != nil {
+		s.nSnapshotErrors.Add(1)
+		s.opts.SlowLog.Printf("snapshot at epoch %d failed: %v", epoch, err)
+		return
+	}
+	s.batchesSinceSnap = 0
 }
 
 // runCheck serves one check or witness job under its deadline-derived

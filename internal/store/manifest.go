@@ -1,0 +1,149 @@
+package store
+
+// manifest.go manages the data directory's MANIFEST.json: the single source
+// of truth for which snapshot files exist, their epochs and checksums, and
+// the WAL file name. The manifest is replaced atomically (temp + rename), so
+// a reader always sees either the old or the new state; snapshot files are
+// likewise renamed into place before the manifest that references them is
+// written, which makes every crash window recoverable — at worst an orphan
+// temp file or an unreferenced snapshot is left behind.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// ManifestName is the manifest file name inside a data directory.
+	ManifestName = "MANIFEST.json"
+	// FormatVersion is the data-directory layout version this build reads
+	// and writes. A directory stamped with a higher version is refused.
+	FormatVersion = 1
+	// walName is the WAL file name inside a data directory.
+	walName = "wal.log"
+)
+
+// ErrNewerFormat is reported when a data directory (or a snapshot inside
+// one) was written by a newer build. The daemon must refuse to start rather
+// than shadow data it cannot fully read.
+var ErrNewerFormat = errors.New("store: data written by a newer format version")
+
+// SnapshotEntry records one retained snapshot file.
+type SnapshotEntry struct {
+	// Epoch is the epoch the snapshot captures.
+	Epoch uint64 `json:"epoch"`
+	// File is the snapshot's file name, relative to the data directory.
+	File string `json:"file"`
+	// Bytes is the file's exact length.
+	Bytes int64 `json:"bytes"`
+	// CRC32 is the IEEE checksum of the whole file.
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is the data directory's index.
+type Manifest struct {
+	// Version is the directory format version (FormatVersion when written
+	// by this build).
+	Version int `json:"format_version"`
+	// WAL is the log's file name, relative to the data directory.
+	WAL string `json:"wal"`
+	// Snapshots lists retained snapshots in ascending epoch order.
+	Snapshots []SnapshotEntry `json:"snapshots"`
+}
+
+// latest returns the newest snapshot entry, or nil if none is retained.
+func (m *Manifest) latest() *SnapshotEntry {
+	if len(m.Snapshots) == 0 {
+		return nil
+	}
+	return &m.Snapshots[len(m.Snapshots)-1]
+}
+
+// readManifest loads and validates the manifest of dir. os.ErrNotExist (a
+// fresh directory), ErrNewerFormat, and ErrCorrupt (unreadable JSON or an
+// inconsistent manifest) are distinguishable with errors.Is.
+func readManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest %s is not valid JSON: %v", ErrCorrupt, path, err)
+	}
+	if m.Version > FormatVersion {
+		return nil, fmt.Errorf("store: %s has format version %d, this build supports %d: %w",
+			path, m.Version, FormatVersion, ErrNewerFormat)
+	}
+	if m.Version < 1 {
+		return nil, fmt.Errorf("%w: manifest %s has invalid format version %d", ErrCorrupt, path, m.Version)
+	}
+	if m.WAL == "" {
+		return nil, fmt.Errorf("%w: manifest %s names no WAL file", ErrCorrupt, path)
+	}
+	for i, s := range m.Snapshots {
+		if s.File == "" || filepath.Base(s.File) != s.File {
+			return nil, fmt.Errorf("%w: manifest snapshot %d has invalid file name %q", ErrCorrupt, i, s.File)
+		}
+		if i > 0 && s.Epoch <= m.Snapshots[i-1].Epoch {
+			return nil, fmt.Errorf("%w: manifest snapshots out of epoch order at entry %d", ErrCorrupt, i)
+		}
+	}
+	return &m, nil
+}
+
+// write atomically replaces dir's manifest.
+func (m *Manifest) write(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	return atomicWriteFile(dir, ManifestName, data)
+}
+
+// atomicWriteFile writes name inside dir via a synced temp file and rename,
+// then syncs the directory so the rename itself is durable.
+func atomicWriteFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("store: installing %s: %w", name, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package store
+
+// metrics.go exposes the store's instrumentation hooks. Latency histograms
+// are injected by the service's registry (SetMetrics); monotonic counters
+// live on the Store itself and are exported by the service as CounterFuncs,
+// so the same numbers back /statsz and /metricsz without double counting.
+
+import "repro/internal/obs"
+
+// Metrics holds the latency histograms the store observes into. All fields
+// must be non-nil when SetMetrics is called.
+type Metrics struct {
+	// WALAppend times AppendBatch: encode + write + fsync (when the policy
+	// syncs that append).
+	WALAppend *obs.Histogram
+	// SnapshotWrite times WriteSnapshot end to end: serialize, sync,
+	// rename, manifest update, prune, WAL truncation.
+	SnapshotWrite *obs.Histogram
+}
+
+// SetMetrics installs the histograms. Call once at startup, before traffic.
+func (s *Store) SetMetrics(m *Metrics) { s.metrics.Store(m) }
+
+// Lock-free counter accessors for metric registration and /statsz.
+
+// WALAppends counts records appended this process lifetime.
+func (s *Store) WALAppends() uint64 { return s.walAppends.Load() }
+
+// WALBytesWritten counts bytes appended this process lifetime.
+func (s *Store) WALBytesWritten() uint64 { return s.walBytesWritten.Load() }
+
+// Fsyncs counts explicit WAL syncs.
+func (s *Store) Fsyncs() uint64 { return s.fsyncs.Load() }
+
+// ReplayedRecords counts WAL records applied during recovery.
+func (s *Store) ReplayedRecords() uint64 { return s.replayedRecords.Load() }
+
+// ReplayedTuples counts updates applied during recovery.
+func (s *Store) ReplayedTuples() uint64 { return s.replayedTuples.Load() }
+
+// TornTails counts recoveries that found and dropped a torn WAL tail.
+func (s *Store) TornTails() uint64 { return s.tornTails.Load() }
+
+// DroppedTailBytes counts bytes dropped as torn WAL tails.
+func (s *Store) DroppedTailBytes() uint64 { return s.droppedTailBytes.Load() }
+
+// LastSnapshotEpoch returns the epoch of the newest snapshot, 0 if none.
+func (s *Store) LastSnapshotEpoch() uint64 { return s.lastSnapshotEpoch.Load() }

@@ -1,0 +1,456 @@
+// Package store is the durability subsystem: a write-ahead log of every
+// acknowledged update batch plus periodic whole-checker snapshots, managed
+// inside one data directory by a manifest. Together they give the daemon
+// warm restarts (snapshot + WAL replay instead of CSV rebuild and index
+// reconstruction) and point-in-time checking (materialize the state as of a
+// retained epoch).
+//
+// Concurrency contract: AppendBatch and WriteSnapshot belong to the single
+// write-owner goroutine (the service worker) and must not race each other;
+// CheckerAt and Status may run from any goroutine. A read lock held across
+// CheckerAt's file reads keeps snapshot pruning and WAL truncation (both
+// under the write lock) from cutting files out from under a reader. A
+// concurrent append during CheckerAt is harmless: appended records carry
+// epochs newer than any epoch a reader may legally request, and a torn read
+// of the in-flight record is dropped by the tail scan.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Fsync is the WAL flush policy (default FsyncBatch).
+	Fsync FsyncPolicy
+	// FsyncInterval is the minimum spacing between WAL syncs under
+	// FsyncIntervalPolicy (default 100ms).
+	FsyncInterval time.Duration
+	// Retain is how many snapshots to keep (default 4, minimum 1). Older
+	// snapshots — and the historical epochs only they can serve — are
+	// deleted as new ones are written.
+	Retain int
+}
+
+// Sentinel errors for store conditions callers branch on.
+var (
+	// ErrNoSnapshot is reported by Recover when the directory holds no
+	// snapshot yet (a fresh store): the caller must cold-boot.
+	ErrNoSnapshot = errors.New("store: no snapshot in data directory")
+	// ErrEpochNotRetained is reported by CheckerAt for an epoch older than
+	// the retention window or falling between retained snapshots whose
+	// connecting WAL has been truncated.
+	ErrEpochNotRetained = errors.New("store: epoch not retained")
+)
+
+// Store is an open data directory.
+type Store struct {
+	dir  string
+	opts Options
+
+	// mu orders manifest/file mutation (write lock: WriteSnapshot's prune
+	// and WAL truncation) against readers (read lock: CheckerAt, Status).
+	mu  sync.RWMutex
+	man *Manifest
+	wal *walFile
+
+	metrics atomic.Pointer[Metrics]
+
+	// Counters for /statsz and /metricsz, updated lock-free.
+	walSize           atomic.Int64
+	walAppends        atomic.Uint64
+	walBytesWritten   atomic.Uint64
+	fsyncs            atomic.Uint64
+	replayedRecords   atomic.Uint64
+	replayedTuples    atomic.Uint64
+	droppedTailBytes  atomic.Uint64
+	tornTails         atomic.Uint64
+	lastSnapshotEpoch atomic.Uint64
+}
+
+// Open opens (or initializes) the data directory at dir. A directory with
+// an unreadable manifest, or one written by a newer format version, is an
+// error — never silently shadowed (errors.Is ErrCorrupt / ErrNewerFormat).
+// A directory that exists with content but no manifest is also refused: it
+// is not ours to overwrite.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Retain < 1 {
+		opts.Retain = 4
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data directory: %w", err)
+	}
+	man, err := readManifest(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		entries, lerr := os.ReadDir(dir)
+		if lerr != nil {
+			return nil, fmt.Errorf("store: listing data directory: %w", lerr)
+		}
+		for _, e := range entries {
+			return nil, fmt.Errorf("%w: %s has no manifest but contains %q — refusing to initialize over it",
+				ErrCorrupt, dir, e.Name())
+		}
+		man = &Manifest{Version: FormatVersion, WAL: walName}
+		if werr := man.write(dir); werr != nil {
+			return nil, werr
+		}
+	} else if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, man: man}
+	s.wal, err = openWAL(filepath.Join(dir, man.WAL), opts.Fsync, opts.FsyncInterval)
+	if err != nil {
+		return nil, err
+	}
+	s.walSize.Store(s.wal.size)
+	if latest := man.latest(); latest != nil {
+		s.lastSnapshotEpoch.Store(latest.Epoch)
+	}
+	return s, nil
+}
+
+// Close releases the WAL file handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.close()
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// HasSnapshot reports whether the directory holds at least one snapshot —
+// whether Recover can warm-boot.
+func (s *Store) HasSnapshot() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.man.latest() != nil
+}
+
+// RecoveryInfo summarizes what Recover did.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the epoch of the restored snapshot.
+	SnapshotEpoch uint64
+	// LastEpoch is the state's epoch after WAL replay — the epoch the
+	// service must resume counting from.
+	LastEpoch uint64
+	// ReplayedRecords and ReplayedTuples count the WAL records applied on
+	// top of the snapshot and the updates they carried.
+	ReplayedRecords int
+	ReplayedTuples  int
+	// SkippedRecords counts WAL records at or below the snapshot epoch
+	// (a crash hit between snapshot install and WAL truncation).
+	SkippedRecords int
+	// DroppedTailBytes is the size of the torn tail cut from the WAL, if
+	// any — the in-flight record a crash interrupted.
+	DroppedTailBytes int64
+}
+
+// Recover restores the latest snapshot, replays every WAL record behind it,
+// truncates any torn tail, and returns the recovered checker, the persisted
+// constraint text, and what happened. coreOpts is the runtime configuration
+// for the restored checker. ErrNoSnapshot means a fresh directory.
+func (s *Store) Recover(coreOpts core.Options) (*core.Checker, string, RecoveryInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var info RecoveryInfo
+	latest := s.man.latest()
+	if latest == nil {
+		return nil, "", info, ErrNoSnapshot
+	}
+	chk, constraints, epoch, err := s.restoreEntry(latest, coreOpts)
+	if err != nil {
+		return nil, "", info, err
+	}
+	info.SnapshotEpoch = epoch
+	info.LastEpoch = epoch
+
+	scan, err := scanWAL(filepath.Join(s.dir, s.man.WAL))
+	if err != nil {
+		return nil, "", info, err
+	}
+	for _, b := range scan.Batches {
+		if b.Epoch <= epoch {
+			info.SkippedRecords++
+			continue
+		}
+		if applied, err := chk.Apply(b.Updates); err != nil || applied != len(b.Updates) {
+			return nil, "", info, fmt.Errorf("%w: replaying WAL record for epoch %d: applied %d/%d: %v",
+				ErrCorrupt, b.Epoch, applied, len(b.Updates), err)
+		}
+		info.ReplayedRecords++
+		info.ReplayedTuples += len(b.Updates)
+		info.LastEpoch = b.Epoch
+	}
+	if scan.DroppedBytes > 0 {
+		info.DroppedTailBytes = scan.DroppedBytes
+		s.tornTails.Add(1)
+		s.droppedTailBytes.Add(uint64(scan.DroppedBytes))
+		if err := s.wal.truncateTo(scan.ValidBytes); err != nil {
+			return nil, "", info, err
+		}
+		s.walSize.Store(s.wal.size)
+	}
+	s.replayedRecords.Add(uint64(info.ReplayedRecords))
+	s.replayedTuples.Add(uint64(info.ReplayedTuples))
+	return chk, constraints, info, nil
+}
+
+// restoreEntry restores one snapshot file, verifying its length and CRC
+// against the manifest entry. Callers hold mu (read or write).
+func (s *Store) restoreEntry(e *SnapshotEntry, coreOpts core.Options) (*core.Checker, string, uint64, error) {
+	f, err := os.Open(filepath.Join(s.dir, e.File))
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	cr := &crcReader{r: f}
+	chk, constraints, epoch, err := readSnapshot(cr, coreOpts)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("store: snapshot %s: %w", e.File, err)
+	}
+	// readSnapshot buffers; drain so the checksum covers the whole file and
+	// trailing garbage is caught by the length comparison.
+	if _, err := io.Copy(io.Discard, cr); err != nil {
+		return nil, "", 0, fmt.Errorf("store: reading snapshot %s: %w", e.File, err)
+	}
+	if cr.n != e.Bytes || cr.crc != e.CRC32 {
+		return nil, "", 0, fmt.Errorf("%w: snapshot %s is %d bytes crc %08x, manifest says %d bytes crc %08x",
+			ErrCorrupt, e.File, cr.n, cr.crc, e.Bytes, e.CRC32)
+	}
+	if epoch != e.Epoch {
+		return nil, "", 0, fmt.Errorf("%w: snapshot %s carries epoch %d, manifest says %d",
+			ErrCorrupt, e.File, epoch, e.Epoch)
+	}
+	return chk, constraints, epoch, nil
+}
+
+// AppendBatch logs one acknowledged batch: the updates that were applied for
+// epoch. Must be called by the write owner before the batch is acknowledged
+// (log-before-ack); an error means durability is not assured and the owner
+// must surface it in the acknowledgment.
+func (s *Store) AppendBatch(epoch uint64, ups []core.Update) error {
+	start := time.Now()
+	n, synced, err := s.wal.append(epoch, ups)
+	if err != nil {
+		return err
+	}
+	s.walSize.Store(s.wal.size)
+	s.walAppends.Add(1)
+	s.walBytesWritten.Add(uint64(n))
+	if synced {
+		s.fsyncs.Add(1)
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.WALAppend.Observe(time.Since(start))
+	}
+	return nil
+}
+
+// SnapshotFileName names the snapshot file for an epoch, relative to the
+// data directory.
+func SnapshotFileName(epoch uint64) string {
+	return fmt.Sprintf("snap-%016x.cvsnap", epoch)
+}
+
+// WriteSnapshot persists chk's current state as the snapshot for epoch,
+// installs it in the manifest, prunes snapshots beyond the retention count,
+// and truncates the WAL (everything logged is now covered by the snapshot).
+// Write-owner only; chk must be quiescent for the duration.
+func (s *Store) WriteSnapshot(chk *core.Checker, constraints string, epoch uint64) error {
+	start := time.Now()
+	name := SnapshotFileName(epoch)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	cw := &crcWriter{w: tmp}
+	if err := writeSnapshot(cw, chk, constraints, epoch); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	man := &Manifest{Version: FormatVersion, WAL: s.man.WAL}
+	man.Snapshots = append(append([]SnapshotEntry(nil), s.man.Snapshots...),
+		SnapshotEntry{Epoch: epoch, File: name, Bytes: cw.n, CRC32: cw.crc})
+	var pruned []SnapshotEntry
+	if n := len(man.Snapshots); n > s.opts.Retain {
+		pruned = append(pruned, man.Snapshots[:n-s.opts.Retain]...)
+		man.Snapshots = append([]SnapshotEntry(nil), man.Snapshots[n-s.opts.Retain:]...)
+	}
+	if err := man.write(s.dir); err != nil {
+		return err
+	}
+	s.man = man
+	// Old snapshot files go only after the manifest that stops referencing
+	// them is durable; a crash in between leaves unreferenced files, which
+	// is safe (cvstore compact cleans them up).
+	for _, e := range pruned {
+		os.Remove(filepath.Join(s.dir, e.File))
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.walSize.Store(s.wal.size)
+	s.lastSnapshotEpoch.Store(epoch)
+	if m := s.metrics.Load(); m != nil {
+		m.SnapshotWrite.Observe(time.Since(start))
+	}
+	return nil
+}
+
+// CheckerAt materializes the state as of epoch from the retained artifacts:
+// the newest snapshot at or below epoch, plus WAL replay up to epoch when
+// that snapshot is the latest one. Epochs older than the retention window,
+// or falling between two retained snapshots (their connecting WAL is gone),
+// report ErrEpochNotRetained. The caller is responsible for rejecting
+// epochs beyond the current one — the store cannot distinguish a future
+// epoch from a retained epoch whose batches changed no tuples.
+func (s *Store) CheckerAt(epoch uint64, coreOpts core.Options) (*core.Checker, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.man.Snapshots) == 0 {
+		return nil, ErrNoSnapshot
+	}
+	// Newest entry at or below the requested epoch.
+	var entry *SnapshotEntry
+	for i := range s.man.Snapshots {
+		if s.man.Snapshots[i].Epoch <= epoch {
+			entry = &s.man.Snapshots[i]
+		}
+	}
+	if entry == nil {
+		return nil, fmt.Errorf("%w: epoch %d predates the oldest retained snapshot (epoch %d)",
+			ErrEpochNotRetained, epoch, s.man.Snapshots[0].Epoch)
+	}
+	isLatest := entry.Epoch == s.man.latest().Epoch
+	if !isLatest && entry.Epoch != epoch {
+		return nil, fmt.Errorf("%w: epoch %d falls between retained snapshots (nearest is %d)",
+			ErrEpochNotRetained, epoch, entry.Epoch)
+	}
+	chk, _, snapEpoch, err := s.restoreEntry(entry, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	if isLatest && epoch > snapEpoch {
+		scan, err := scanWAL(filepath.Join(s.dir, s.man.WAL))
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range scan.Batches {
+			if b.Epoch <= snapEpoch || b.Epoch > epoch {
+				continue
+			}
+			if applied, err := chk.Apply(b.Updates); err != nil || applied != len(b.Updates) {
+				return nil, fmt.Errorf("%w: replaying WAL record for epoch %d: applied %d/%d: %v",
+					ErrCorrupt, b.Epoch, applied, len(b.Updates), err)
+			}
+		}
+	}
+	return chk, nil
+}
+
+// Status is a point-in-time summary for /statsz.
+type Status struct {
+	Dir               string `json:"dir"`
+	WALBytes          int64  `json:"wal_bytes"`
+	WALAppends        uint64 `json:"wal_appends"`
+	WALBytesWritten   uint64 `json:"wal_bytes_written"`
+	Fsyncs            uint64 `json:"fsyncs"`
+	FsyncPolicy       string `json:"fsync_policy"`
+	Snapshots         int    `json:"snapshots"`
+	LastSnapshotEpoch uint64 `json:"last_snapshot_epoch"`
+	OldestEpoch       uint64 `json:"oldest_snapshot_epoch"`
+	ReplayedRecords   uint64 `json:"replayed_records"`
+	ReplayedTuples    uint64 `json:"replayed_tuples"`
+	TornTails         uint64 `json:"torn_tails"`
+	DroppedTailBytes  uint64 `json:"dropped_tail_bytes"`
+}
+
+// Status reports the store's durability state.
+func (s *Store) Status() Status {
+	s.mu.RLock()
+	snapshots := len(s.man.Snapshots)
+	var oldest uint64
+	if snapshots > 0 {
+		oldest = s.man.Snapshots[0].Epoch
+	}
+	s.mu.RUnlock()
+	return Status{
+		Dir:               s.dir,
+		WALBytes:          s.walSize.Load(),
+		WALAppends:        s.walAppends.Load(),
+		WALBytesWritten:   s.walBytesWritten.Load(),
+		Fsyncs:            s.fsyncs.Load(),
+		FsyncPolicy:       s.opts.Fsync.String(),
+		Snapshots:         snapshots,
+		LastSnapshotEpoch: s.lastSnapshotEpoch.Load(),
+		OldestEpoch:       oldest,
+		ReplayedRecords:   s.replayedRecords.Load(),
+		ReplayedTuples:    s.replayedTuples.Load(),
+		TornTails:         s.tornTails.Load(),
+		DroppedTailBytes:  s.droppedTailBytes.Load(),
+	}
+}
+
+// WALSize returns the log's current size in bytes — the service's snapshot
+// trigger reads it after each append.
+func (s *Store) WALSize() int64 { return s.walSize.Load() }
+
+// crcWriter counts and checksums everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// crcReader counts and checksums everything read through it.
+type crcReader struct {
+	r   io.Reader
+	n   int64
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}

@@ -42,6 +42,7 @@ var all = []struct {
 	{"table1", experiments.Table1},
 	{"threshold", experiments.Threshold},
 	{"parallel", experiments.Parallel},
+	{"reorder", experiments.Reorder},
 }
 
 func main() {

@@ -86,6 +86,9 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "write a snapshot after this many update batches (0 = default 64 when -data-dir is set)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "write a snapshot when the WAL reaches this size (0 = off)")
 	retain := flag.Int("retain", 0, "snapshots retained for ?epoch=N reads (0 = default 4)")
+	reorder := flag.Bool("reorder", false, "sift the BDD variable order between update batches when the kernel grows")
+	reorderGrowth := flag.Float64("reorder-growth", 0, "reorder when live nodes exceed this factor of the post-reorder baseline (0 = default 2.0)")
+	reorderMinNodes := flag.Int("reorder-min-nodes", 0, "never reorder kernels smaller than this many live nodes (0 = default 4096)")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout")
@@ -142,6 +145,9 @@ func main() {
 		SnapshotEveryBatches: *snapshotEvery,
 		SnapshotWALBytes:     *snapshotBytes,
 		InitialEpoch:         res.initialEpoch,
+		Reorder:              *reorder,
+		ReorderGrowth:        *reorderGrowth,
+		ReorderMinNodes:      *reorderMinNodes,
 	})
 	if err != nil {
 		fatal(err)

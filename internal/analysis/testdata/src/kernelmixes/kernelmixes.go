@@ -52,3 +52,30 @@ func goodAlias(st *store, f, g bdd.Ref) bdd.Ref {
 	r := k.And(f, g)
 	return st.kernel.Not(r)
 }
+
+// goodReorderSameKernel: dynamic reordering preserves externally held Refs
+// (sifting rewires levels, never frees pinned nodes), so a Ref minted
+// before Reorder stays usable on the same kernel afterwards.
+func goodReorderSameKernel(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	r := k.And(f, g)
+	k.Reorder(bdd.ReorderOptions{})
+	return k.Not(r)
+}
+
+// badCrossAfterReorder: reordering the destination kernel does not launder
+// a foreign Ref onto it.
+func badCrossAfterReorder(k1, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := k1.Not(f)
+	k2.Reorder(bdd.ReorderOptions{})
+	return k2.Not(r) // want `Ref minted by kernel "k1" passed to method Not of kernel "k2"`
+}
+
+// goodSetOrderSameKernel: an explicit order install is a same-kernel
+// mutation; previously minted Refs remain valid on that kernel.
+func goodSetOrderSameKernel(k *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := k.Not(f)
+	if err := k.SetOrder([]int{0}); err != nil {
+		return bdd.Invalid
+	}
+	return k.And(r, f)
+}

@@ -118,3 +118,25 @@ func leakSwitchNoDefault(k *bdd.Kernel, f bdd.Ref, n int) {
 		k.TempRelease(mark)
 	}
 } // want `function exits without TempRelease\(mark\)`
+
+// goodReorderInsideMark: sifting between TempKeep and TempRelease is legal —
+// the temp set is part of the reorder's root set, so pinned intermediates
+// survive the sift and the deferred release still pairs the mark.
+func goodReorderInsideMark(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	defer k.TempRelease(mark)
+	h := k.TempKeep(k.And(f, g))
+	k.Reorder(bdd.ReorderOptions{})
+	return k.Or(h, f)
+}
+
+// leakReorderEarlyReturn: bailing out on a no-op sift skips the release.
+func leakReorderEarlyReturn(k *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	h := k.TempKeep(k.Not(f))
+	if st := k.Reorder(bdd.ReorderOptions{}); st.After == st.Before {
+		return h // want `function exits without TempRelease\(mark\)`
+	}
+	k.TempRelease(mark)
+	return h
+}

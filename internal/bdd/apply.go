@@ -146,28 +146,29 @@ func (k *Kernel) apply(op uint32, f, g Ref) Ref {
 	}
 	f, g = normalizeApply(op, f, g)
 	k.appliedCount++
-	slot := (uint32(f)*0x9e3779b9 ^ uint32(g)*0x85ebca6b ^ op*0x27d4eb2f) & k.cacheMask
+	k.applyLookups++
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(g)*0x85ebca6b ^ op*0x27d4eb2f) & k.applyMask
 	e := &k.applyCache[slot]
 	if e.epoch == k.cacheEpoch && e.op == op && e.f == f && e.g == g {
-		k.cacheHits++
+		k.applyHits++
 		return e.res
 	}
-	fn, gn := &k.nodes[f], &k.nodes[g]
 	var level uint32
 	var f0, f1, g0, g1 Ref
+	fl, gl := k.level[f], k.level[g]
 	switch {
-	case fn.level == gn.level:
-		level = fn.level
-		f0, f1 = fn.low, fn.high
-		g0, g1 = gn.low, gn.high
-	case fn.level < gn.level:
-		level = fn.level
-		f0, f1 = fn.low, fn.high
+	case fl == gl:
+		level = fl
+		f0, f1 = k.low[f], k.high[f]
+		g0, g1 = k.low[g], k.high[g]
+	case fl < gl:
+		level = fl
+		f0, f1 = k.low[f], k.high[f]
 		g0, g1 = g, g
 	default:
-		level = gn.level
+		level = gl
 		f0, f1 = f, f
-		g0, g1 = gn.low, gn.high
+		g0, g1 = k.low[g], k.high[g]
 	}
 	low := k.apply(op, f0, g0)
 	if low == Invalid {
@@ -196,15 +197,15 @@ func (k *Kernel) negate(f Ref) Ref {
 		return False
 	}
 	k.appliedCount++
+	k.applyLookups++
 	notKey := opNot // runtime value: the constant product overflows uint32
-	slot := (uint32(f)*0x9e3779b9 ^ notKey*0x27d4eb2f) & k.cacheMask
+	slot := (uint32(f)*0x9e3779b9 ^ notKey*0x27d4eb2f) & k.applyMask
 	e := &k.applyCache[slot]
 	if e.epoch == k.cacheEpoch && e.op == opNot && e.f == f {
-		k.cacheHits++
+		k.applyHits++
 		return e.res
 	}
-	n := &k.nodes[f]
-	level, lowIn, highIn := n.level, n.low, n.high
+	level, lowIn, highIn := k.level[f], k.low[f], k.high[f]
 	low := k.negate(lowIn)
 	high := k.negate(highIn)
 	res := k.makeNode(level, low, high)

@@ -2,8 +2,9 @@
 // with a shared unique-node table, memoized boolean operations, variable
 // quantification, combined apply-quantify operations (the analogues of
 // BuDDy's bdd_appex and bdd_appall), ordered variable replacement, garbage
-// collection with external reference pinning, and a configurable node budget
-// that aborts operations whose intermediate results explode.
+// collection with external reference pinning, dynamic variable reordering
+// (Rudell sifting, see reorder.go), and a configurable node budget that
+// aborts operations whose intermediate results explode.
 //
 // The package is a from-scratch substitute for the BuDDy C library used by
 // the paper "Fast Identification of Relational Constraint Violations"
@@ -11,6 +12,14 @@
 // two logically equivalent functions built in the same Kernel always receive
 // the same Ref, so validity and satisfiability tests are O(1) comparisons
 // against True and False.
+//
+// Levels and variables are distinct notions: a node's position in the
+// diagram is its level (level 0 at the top), while the boolean variable it
+// tests is looked up through a level↔variable permutation. A fresh kernel
+// starts with the identity permutation (variable i at level i); Reorder and
+// SetOrder change it. Everything variable-facing (Var, Literal, Support,
+// replacement pairs) speaks variables; the internal recursion and cubes
+// compare levels.
 //
 // Kernels are not safe for concurrent use; callers that share a Kernel
 // across goroutines must serialize access.
@@ -51,10 +60,12 @@ const (
 // after every variable level.
 const terminalLevel = math.MaxUint32
 
-// freedLevel stamps the level field of swept nodes while DebugChecks is
-// enabled, so a stale Ref dereferencing a freed slot is recognizable. It can
-// never collide with a real level (levels are variable indices) or with
-// terminalLevel. makeNode overwrites the stamp when the slot is reused.
+// freedLevel stamps the level field of swept nodes, so a free-list slot is
+// recognizable: garbage collection and reordering both rely on the stamp to
+// tell live slots from reclaimed ones, and DebugChecks uses it to catch a
+// stale Ref dereferencing a freed slot. It can never collide with a real
+// level or with terminalLevel. makeNode overwrites the stamp when the slot
+// is reused.
 const freedLevel = math.MaxUint32 - 1
 
 // ErrBudget is reported by Kernel.Err when an operation would have grown the
@@ -67,30 +78,22 @@ var ErrBudget = errors.New("bdd: node budget exceeded")
 // variable order, which the linear replace algorithm requires.
 var ErrOrder = errors.New("bdd: replacement does not preserve variable order")
 
-// node is one entry of the shared node table. The struct is 20 bytes, the
-// same per-node overhead the paper reports for its BuDDy configuration.
-type node struct {
-	level uint32 // variable level; terminalLevel for True/False
-	low   Ref    // 0-successor
-	high  Ref    // 1-successor
-	next  int32  // unique-table hash chain; -1 terminates
-	refs  int32  // external pin count; nodes with refs>0 are GC roots
-}
-
 // Config controls the construction of a Kernel.
 type Config struct {
-	// Vars is the number of boolean variables. Levels and variable indices
-	// coincide: variable i is tested at level i, with level 0 at the top.
+	// Vars is the number of boolean variables. A fresh kernel places
+	// variable i at level i (the identity order); Reorder and SetOrder can
+	// change the placement later.
 	Vars int
 	// NodeBudget, when positive, bounds the number of live nodes. An
 	// operation that needs to allocate past the budget is aborted: it
 	// returns Invalid and Kernel.Err reports ErrBudget.
 	NodeBudget int
 	// CacheSize fixes the number of entries in each operation cache
-	// (rounded up to a power of two). Zero selects dynamic sizing: caches
-	// start small and double as the node table grows, up to a default
-	// maximum — small kernels stay cheap to create, large workloads still
-	// get large caches.
+	// (rounded up to a power of two). Zero selects dynamic sizing: each
+	// cache starts small and grows with its own observed demand (the apply
+	// cache with the node table, the quantification and replacement caches
+	// with their lookup counts), up to per-cache maxima — small kernels
+	// stay cheap to create, large workloads still get large caches.
 	CacheSize int
 	// InitialNodes sizes the initial node table. Zero selects a default.
 	InitialNodes int
@@ -99,21 +102,38 @@ type Config struct {
 	// and handles to GC-freed nodes (a missing Protect/TempKeep pin) panic
 	// at the operation boundary instead of silently denoting an unrelated
 	// node. See also SetDebugChecks. The mode costs a few comparisons per
-	// operation plus a level stamp per freed node during GC; it is meant for
-	// tests and soak runs, not production paths.
+	// operation; it is meant for tests and soak runs, not production paths.
 	DebugChecks bool
 }
 
 // Kernel owns a shared node table and the operation caches. All Refs handed
 // out by a Kernel remain valid while they are pinned (see Protect) or
 // reachable from a pinned Ref; unpinned, unreachable nodes may be reclaimed
-// by garbage collection between operations.
+// by garbage collection between operations. Reordering (see reorder.go)
+// also preserves pinned Refs: a node keeps its index while its function is
+// rewritten in place.
+//
+// The node table is struct-of-arrays: the level, low, high, chain and pin
+// fields of node i live in five parallel slices instead of one 20-byte
+// struct. The hot makeNode/apply recursion touches level/low/high of many
+// nodes but next only on hash probes and refs almost never, so splitting
+// the arrays keeps the traversed fields dense in cache.
 type Kernel struct {
-	nodes   []node
+	// node table, struct-of-arrays; index 0 and 1 are the terminals
+	level []uint32 // variable level; terminalLevel for True/False, freedLevel for free slots
+	low   []Ref    // 0-successor
+	high  []Ref    // 1-successor
+	next  []int32  // unique-table hash chain; -1 terminates; free-list link for freed slots
+	refs  []int32  // external pin count; nodes with refs>0 are GC roots
+
 	buckets []int32 // unique table heads, len is a power of two
-	free    int32   // head of free list threaded through node.next; -1 empty
+	free    int32   // head of free list threaded through next; -1 empty
 	live    int     // number of live (non-free) nodes, including terminals
 	numVars int
+
+	// level↔variable permutation; identity until a reorder changes it
+	var2level []uint32 // var2level[v] is the level of variable v
+	level2var []uint32 // level2var[l] is the variable at level l
 
 	budget      int
 	gcTrigger   int // run GC when live exceeds this at an operation boundary
@@ -123,19 +143,30 @@ type Kernel struct {
 	applyCache   []applyEntry
 	quantCache   []quantEntry
 	replaceCache []replaceEntry
-	cacheMask    uint32
+	applyMask    uint32
+	quantMask    uint32
+	replaceMask  uint32
 	cacheEpoch   uint32 // entries from older epochs are invalid (cheap GC-time flush)
-	maxCache     int    // dynamic caches stop doubling at this size
+	maxCache     int    // the apply cache stops doubling at this size
+	fixedCache   bool   // Config.CacheSize pinned all three cache sizes
 	tempRoots    []Ref  // GC roots for in-flight computations (TempKeep)
 
 	replaceMaps []replaceMap // interned variable substitutions
+	groups      [][]int      // variable groups that sift as units (reorder.go)
 
 	// statistics
-	gcCount      int
-	appliedCount uint64
-	cacheHits    uint64
-	allocCount   uint64 // nodes allocated, monotonic (GC never lowers it)
-	peak         int    // largest live ever observed
+	gcCount        int
+	appliedCount   uint64
+	allocCount     uint64 // nodes allocated, monotonic (GC never lowers it)
+	peak           int    // largest live ever observed
+	applyLookups   uint64
+	applyHits      uint64
+	quantLookups   uint64
+	quantHits      uint64
+	replaceLookups uint64
+	replaceHits    uint64
+	reorderRuns    int
+	reorderSaved   uint64 // cumulative live-node drop across reorders
 }
 
 type applyEntry struct {
@@ -157,11 +188,19 @@ type replaceEntry struct {
 }
 
 type replaceMap struct {
-	// dense per-level target variable; identity where unchanged
+	// pairs holds the registered variable substitution (source variable,
+	// target variable); the level-indexed form below is derived from it and
+	// rebuilt whenever the variable order or count changes.
+	pairs [][2]int
+	// dense per-level target level; identity where unchanged
 	target []uint32
-	// topLevel is the smallest level that is remapped; recursion can stop
-	// once the current level exceeds lastLevel.
+	// lastLevel is the largest level that is remapped; recursion can stop
+	// once the current level exceeds it.
 	lastLevel uint32
+	// valid is false when the current variable order breaks the map's
+	// monotonicity, making a single linear pass impossible; Replace then
+	// reports ErrOrder.
+	valid bool
 }
 
 const (
@@ -179,10 +218,11 @@ const (
 )
 
 const (
-	defaultMaxCacheSize = 1 << 18
-	initialCacheSize    = 1 << 12
-	defaultInitialNodes = 1 << 12
-	minBuckets          = 1 << 10
+	defaultMaxCacheSize   = 1 << 18
+	initialCacheSize      = 1 << 12
+	initialSmallCacheSize = 1 << 10
+	defaultInitialNodes   = 1 << 12
+	minBuckets            = 1 << 10
 )
 
 // New creates a Kernel with cfg.Vars boolean variables.
@@ -190,11 +230,15 @@ func New(cfg Config) *Kernel {
 	if cfg.Vars < 0 {
 		panic("bdd: negative variable count")
 	}
-	cache := initialCacheSize
+	applySize := initialCacheSize
+	smallSize := initialSmallCacheSize
 	maxCache := defaultMaxCacheSize
+	fixed := false
 	if cfg.CacheSize > 0 {
-		cache = ceilPow2(cfg.CacheSize)
-		maxCache = cache
+		applySize = ceilPow2(cfg.CacheSize)
+		smallSize = applySize
+		maxCache = applySize
+		fixed = true
 	}
 	initial := cfg.InitialNodes
 	if initial < 16 {
@@ -204,23 +248,32 @@ func New(cfg Config) *Kernel {
 		numVars:      cfg.Vars,
 		budget:       cfg.NodeBudget,
 		debugChecks:  cfg.DebugChecks,
-		applyCache:   make([]applyEntry, cache),
-		quantCache:   make([]quantEntry, cache),
-		replaceCache: make([]replaceEntry, cache),
-		cacheMask:    uint32(cache - 1),
+		applyCache:   make([]applyEntry, applySize),
+		quantCache:   make([]quantEntry, smallSize),
+		replaceCache: make([]replaceEntry, smallSize),
+		applyMask:    uint32(applySize - 1),
+		quantMask:    uint32(smallSize - 1),
+		replaceMask:  uint32(smallSize - 1),
 		maxCache:     maxCache,
+		fixedCache:   fixed,
 		free:         -1,
 	}
-	k.nodes = make([]node, 2, initial)
-	k.nodes[False] = node{level: terminalLevel, low: False, high: True, next: -1}
-	k.nodes[True] = node{level: terminalLevel, low: False, high: True, next: -1}
-	k.nodes[False].refs = 1 // terminals are permanently pinned
-	k.nodes[True].refs = 1
+	k.level = append(make([]uint32, 0, initial), terminalLevel, terminalLevel)
+	k.low = append(make([]Ref, 0, initial), False, False)
+	k.high = append(make([]Ref, 0, initial), True, True)
+	k.next = append(make([]int32, 0, initial), -1, -1)
+	k.refs = append(make([]int32, 0, initial), 1, 1) // terminals are permanently pinned
 	k.live = 2
 	k.peak = 2
 	k.buckets = make([]int32, minBuckets)
 	for i := range k.buckets {
 		k.buckets[i] = -1
+	}
+	k.var2level = make([]uint32, cfg.Vars)
+	k.level2var = make([]uint32, cfg.Vars)
+	for i := 0; i < cfg.Vars; i++ {
+		k.var2level[i] = uint32(i)
+		k.level2var[i] = uint32(i)
 	}
 	k.resetGCTrigger()
 	k.cacheEpoch = 1 // zero-valued entries never match
@@ -262,11 +315,12 @@ func (k *Kernel) AddVars(n int) int {
 	}
 	base := k.numVars
 	k.numVars += n
+	for i := base; i < k.numVars; i++ {
+		k.var2level = append(k.var2level, uint32(i))
+		k.level2var = append(k.level2var, uint32(i))
+	}
 	for i := range k.replaceMaps {
-		m := &k.replaceMaps[i]
-		for v := len(m.target); v < k.numVars; v++ {
-			m.target = append(m.target, uint32(v))
-		}
+		k.rebuildReplaceMap(&k.replaceMaps[i])
 	}
 	return base
 }
@@ -292,23 +346,58 @@ func (k *Kernel) GCCount() int { return k.gcCount }
 // cheap proxy for work performed, used by benchmarks.
 func (k *Kernel) OpCount() uint64 { return k.appliedCount }
 
-// CacheHits returns the number of operation-cache hits.
-func (k *Kernel) CacheHits() uint64 { return k.cacheHits }
+// CacheHits returns the number of operation-cache hits across all three
+// caches.
+func (k *Kernel) CacheHits() uint64 { return k.applyHits + k.quantHits + k.replaceHits }
 
-// Level returns the variable level tested by node f, or NumVars() for the
-// terminals.
+// Level returns the level (position in the current variable order, 0 at the
+// top) of node f, or NumVars() for the terminals. Use VarOf for the boolean
+// variable f tests; the two coincide only under the identity order.
 func (k *Kernel) Level(f Ref) int {
 	if k.isTerminal(f) {
 		return k.numVars
 	}
-	return int(k.nodes[f].level)
+	return int(k.level[f])
+}
+
+// VarOf returns the boolean variable tested by node f, or NumVars() for the
+// terminals.
+func (k *Kernel) VarOf(f Ref) int {
+	if k.isTerminal(f) {
+		return k.numVars
+	}
+	return int(k.level2var[k.level[f]])
+}
+
+// LevelOfVar returns the level at which variable v is currently placed.
+func (k *Kernel) LevelOfVar(v int) int {
+	k.checkVar(v)
+	return int(k.var2level[v])
+}
+
+// VarAtLevel returns the variable currently placed at the given level.
+func (k *Kernel) VarAtLevel(level int) int {
+	if level < 0 || level >= k.numVars {
+		panic(fmt.Sprintf("bdd: level %d out of range [0,%d)", level, k.numVars))
+	}
+	return int(k.level2var[level])
+}
+
+// VarOrder returns the current variable order as a fresh slice: entry l is
+// the variable placed at level l.
+func (k *Kernel) VarOrder() []int {
+	out := make([]int, k.numVars)
+	for l, v := range k.level2var {
+		out[l] = int(v)
+	}
+	return out
 }
 
 // Low returns the 0-successor of f. f must not be a terminal.
-func (k *Kernel) Low(f Ref) Ref { return k.nodes[f].low }
+func (k *Kernel) Low(f Ref) Ref { return k.low[f] }
 
 // High returns the 1-successor of f. f must not be a terminal.
-func (k *Kernel) High(f Ref) Ref { return k.nodes[f].high }
+func (k *Kernel) High(f Ref) Ref { return k.high[f] }
 
 func (k *Kernel) isTerminal(f Ref) bool { return f == False || f == True }
 
@@ -318,13 +407,13 @@ func (k *Kernel) IsTerminal(f Ref) bool { return k.isTerminal(f) }
 // Var returns the BDD of the single-variable function x_i.
 func (k *Kernel) Var(i int) Ref {
 	k.checkVar(i)
-	return k.makeNode(uint32(i), False, True)
+	return k.makeNode(k.var2level[i], False, True)
 }
 
 // NVar returns the BDD of the negated single-variable function ¬x_i.
 func (k *Kernel) NVar(i int) Ref {
 	k.checkVar(i)
-	return k.makeNode(uint32(i), True, False)
+	return k.makeNode(k.var2level[i], True, False)
 }
 
 func (k *Kernel) checkVar(i int) {
@@ -375,7 +464,7 @@ func (k *Kernel) Protect(f Ref) Ref {
 		if k.debugChecks {
 			k.checkRef(f)
 		}
-		k.nodes[f].refs++
+		k.refs[f]++
 	}
 	return f
 }
@@ -383,10 +472,10 @@ func (k *Kernel) Protect(f Ref) Ref {
 // Unprotect releases one pin previously placed by Protect.
 func (k *Kernel) Unprotect(f Ref) {
 	if f > True {
-		if k.nodes[f].refs == 0 {
+		if k.refs[f] == 0 {
 			panic("bdd: unbalanced Unprotect")
 		}
-		k.nodes[f].refs--
+		k.refs[f]--
 	}
 }
 
@@ -403,10 +492,11 @@ func (k *Kernel) MakeNode(v uint32, low, high Ref) Ref {
 	if low == Invalid || high == Invalid {
 		return Invalid
 	}
-	if uint32(k.Level(low)) <= v || uint32(k.Level(high)) <= v {
+	level := k.var2level[v]
+	if uint32(k.Level(low)) <= level || uint32(k.Level(high)) <= level {
 		panic("bdd: MakeNode cofactor level violates the variable order")
 	}
-	return k.makeNode(v, low, high)
+	return k.makeNode(level, low, high)
 }
 
 // makeNode returns the canonical node (level, low, high), interning it if
@@ -420,9 +510,8 @@ func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
 		return Invalid
 	}
 	h := nodeHash(level, low, high) & uint32(len(k.buckets)-1)
-	for i := k.buckets[h]; i >= 0; i = k.nodes[i].next {
-		n := &k.nodes[i]
-		if n.level == level && n.low == low && n.high == high {
+	for i := k.buckets[h]; i >= 0; i = k.next[i] {
+		if k.level[i] == level && k.low[i] == low && k.high[i] == high {
 			return Ref(i)
 		}
 	}
@@ -433,12 +522,18 @@ func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
 	var idx int32
 	if k.free >= 0 {
 		idx = k.free
-		k.free = k.nodes[idx].next
+		k.free = k.next[idx]
+		k.level[idx], k.low[idx], k.high[idx] = level, low, high
+		k.refs[idx] = 0
 	} else {
-		k.nodes = append(k.nodes, node{})
-		idx = int32(len(k.nodes) - 1)
+		k.level = append(k.level, level)
+		k.low = append(k.low, low)
+		k.high = append(k.high, high)
+		k.next = append(k.next, 0)
+		k.refs = append(k.refs, 0)
+		idx = int32(len(k.level) - 1)
 	}
-	k.nodes[idx] = node{level: level, low: low, high: high, next: k.buckets[h]}
+	k.next[idx] = k.buckets[h]
 	k.buckets[h] = idx
 	k.live++
 	k.allocCount++
@@ -448,21 +543,20 @@ func (k *Kernel) makeNode(level uint32, low, high Ref) Ref {
 	if k.live > len(k.buckets)*3/4 {
 		k.growBuckets()
 	}
-	if k.live > len(k.applyCache) && len(k.applyCache) < k.maxCache {
-		k.growCaches()
+	if !k.fixedCache && k.live > len(k.applyCache) && len(k.applyCache) < k.maxCache {
+		k.growApplyCache()
 	}
 	return Ref(idx)
 }
 
-// growCaches doubles the operation caches. It may run in the middle of an
-// operation; entry pointers into the old arrays then write stale memory,
-// which only loses those cache entries.
-func (k *Kernel) growCaches() {
+// growApplyCache doubles the apply cache. It may run in the middle of an
+// operation; entry pointers into the old array then write stale memory,
+// which only loses those cache entries. The quantification and replacement
+// caches grow on their own lookup demand (see quant.go, replace.go).
+func (k *Kernel) growApplyCache() {
 	size := len(k.applyCache) * 2
 	k.applyCache = make([]applyEntry, size)
-	k.quantCache = make([]quantEntry, size)
-	k.replaceCache = make([]replaceEntry, size)
-	k.cacheMask = uint32(size - 1)
+	k.applyMask = uint32(size - 1)
 }
 
 func nodeHash(level uint32, low, high Ref) uint32 {
@@ -479,17 +573,16 @@ func (k *Kernel) growBuckets() {
 		nb[i] = -1
 	}
 	mask := uint32(len(nb) - 1)
-	// Re-thread every live node. Free nodes are identified by level 0 slots
-	// on the free list, so rebuild from the unique chains instead of the
-	// free list: walk existing buckets.
+	// Re-thread every live node by walking the existing chains (the free
+	// list stays untouched: it is threaded through next but never reachable
+	// from a bucket head).
 	for _, head := range k.buckets {
 		for i := head; i >= 0; {
-			next := k.nodes[i].next
-			n := &k.nodes[i]
-			h := nodeHash(n.level, n.low, n.high) & mask
-			n.next = nb[h]
+			nxt := k.next[i]
+			h := nodeHash(k.level[i], k.low[i], k.high[i]) & mask
+			k.next[i] = nb[h]
 			nb[h] = i
-			i = next
+			i = nxt
 		}
 	}
 	k.buckets = nb
@@ -500,6 +593,15 @@ func (k *Kernel) growBuckets() {
 // flush is O(1) instead of rewriting megabytes of cache memory.
 func (k *Kernel) clearCaches() {
 	k.cacheEpoch++
+}
+
+// ClearCaches drops every operation-cache entry (O(1): it advances the
+// cache epoch). Results are unaffected — only memoization is lost, so the
+// next operations pay full cost. Benchmarks use it to measure the
+// cold-cache regime a freshly replicated kernel is in right after adopting
+// a new version.
+func (k *Kernel) ClearCaches() {
+	k.clearCaches()
 }
 
 // gcIfNeeded runs a mark-and-sweep collection when the table has grown past
@@ -520,15 +622,10 @@ func (k *Kernel) gcIfNeeded(operands ...Ref) {
 }
 
 // SetDebugChecks switches runtime Ref validation (see Config.DebugChecks) on
-// or off. Enabling it on a kernel that has already collected garbage stamps
-// the current free list, so handles freed before the switch are caught too.
+// or off. Freed slots carry the freedLevel stamp at all times, so handles
+// freed before the switch are caught too.
 func (k *Kernel) SetDebugChecks(on bool) {
 	k.debugChecks = on
-	if on {
-		for i := k.free; i >= 0; i = k.nodes[i].next {
-			k.nodes[i].level = freedLevel
-		}
-	}
 }
 
 // checkRef panics when f cannot be a live handle of this kernel. Invalid is
@@ -538,10 +635,10 @@ func (k *Kernel) checkRef(f Ref) {
 	if f == Invalid {
 		return
 	}
-	if f < 0 || int(f) >= len(k.nodes) {
-		panic(fmt.Sprintf("bdd: Ref %d outside the node table (len %d); was it minted by a different kernel?", f, len(k.nodes)))
+	if f < 0 || int(f) >= len(k.level) {
+		panic(fmt.Sprintf("bdd: Ref %d outside the node table (len %d); was it minted by a different kernel?", f, len(k.level)))
 	}
-	if k.nodes[f].level == freedLevel {
+	if k.level[f] == freedLevel {
 		panic(fmt.Sprintf("bdd: Ref %d names a node reclaimed by GC; missing Protect or TempKeep pin?", f))
 	}
 }
@@ -550,7 +647,7 @@ func (k *Kernel) checkRef(f Ref) {
 // the supplied extra roots survive; all other nodes are reclaimed and their
 // table slots recycled. All operation caches are invalidated.
 func (k *Kernel) GC(extraRoots ...Ref) {
-	marked := make([]bool, len(k.nodes))
+	marked := make([]bool, len(k.level))
 	marked[False] = true
 	marked[True] = true
 	var stack []Ref
@@ -560,8 +657,8 @@ func (k *Kernel) GC(extraRoots ...Ref) {
 			stack = append(stack, f)
 		}
 	}
-	for i := 2; i < len(k.nodes); i++ {
-		if k.nodes[i].refs > 0 {
+	for i := 2; i < len(k.level); i++ {
+		if k.refs[i] > 0 && k.level[i] != freedLevel {
 			push(Ref(i))
 		}
 	}
@@ -574,8 +671,8 @@ func (k *Kernel) GC(extraRoots ...Ref) {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		push(k.nodes[f].low)
-		push(k.nodes[f].high)
+		push(k.low[f])
+		push(k.high[f])
 	}
 	// Sweep: rebuild bucket chains from marked nodes, thread the rest onto
 	// the free list.
@@ -585,19 +682,16 @@ func (k *Kernel) GC(extraRoots ...Ref) {
 	k.free = -1
 	k.live = 2
 	mask := uint32(len(k.buckets) - 1)
-	for i := 2; i < len(k.nodes); i++ {
-		n := &k.nodes[i]
+	for i := 2; i < len(k.level); i++ {
 		if marked[i] {
-			h := nodeHash(n.level, n.low, n.high) & mask
-			n.next = k.buckets[h]
+			h := nodeHash(k.level[i], k.low[i], k.high[i]) & mask
+			k.next[i] = k.buckets[h]
 			k.buckets[h] = int32(i)
 			k.live++
 		} else {
-			n.next = k.free
-			n.refs = 0
-			if k.debugChecks {
-				n.level = freedLevel
-			}
+			k.next[i] = k.free
+			k.refs[i] = 0
+			k.level[i] = freedLevel
 			k.free = int32(i)
 		}
 	}

@@ -1,6 +1,9 @@
 package bdd
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // copy.go implements direct cross-kernel transfer of BDDs. Replication of
 // read-only indices across worker kernels (internal/replica) needs to move
@@ -15,16 +18,53 @@ import "fmt"
 // only read, never mutated, so concurrent CopyTo calls from one frozen
 // source into distinct destinations are safe; dst must not be used
 // concurrently. The destination must have at least as many variables as the
-// highest level reachable from roots, and variable i in the source is
-// variable i in the destination — replication reproduces the source's
-// variable layout before copying. Copying counts against dst's node budget;
-// on budget exhaustion the destination's sticky error is returned and dst is
-// left with Err set, like any other aborted operation.
+// source uses, and variable i in the source is variable i in the
+// destination — replication reproduces the source's variable layout before
+// copying.
+//
+// Variable order: a pristine destination (no nodes beyond the terminals,
+// still on the identity order) with enough variables adopts the source's
+// current order first, so replicas built from a reordered primary inherit
+// the ordering that made it small. A destination that already holds nodes
+// must agree with the source on the relative order of the copied variables;
+// CopyTo reports an error otherwise instead of corrupting canonicity.
+//
+// Copying counts against dst's node budget; on budget exhaustion the
+// destination's sticky error is returned and dst is left with Err set, like
+// any other aborted operation.
 func (k *Kernel) CopyTo(dst *Kernel, roots ...Ref) ([]Ref, error) {
 	if dst == k {
 		out := make([]Ref, len(roots))
 		copy(out, roots)
 		return out, nil
+	}
+	if dst.live == 2 && dst.orderIsIdentity() && dst.numVars > 0 && k.numVars > 0 {
+		// Canonicity only needs the RELATIVE source order of the variables
+		// both kernels share, so rank-compress it onto the destination's
+		// levels: shared variables sort by source level and take destination
+		// levels 0..n-1 in that order. A destination at least as wide as the
+		// source reproduces the source order exactly (rank == source level);
+		// a narrower one (the source kept scratch variables above the copied
+		// blocks) adopts the projected order, and a copied node that does use
+		// a variable the destination lacks still fails below. Extra
+		// destination variables keep their identity levels ≥ n.
+		n := dst.numVars
+		if k.numVars < n {
+			n = k.numVars
+		}
+		order := make([]uint32, n)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		sort.Slice(order, func(i, j int) bool { return k.var2level[order[i]] < k.var2level[order[j]] })
+		for lvl, v := range order {
+			dst.var2level[v] = uint32(lvl)
+			dst.level2var[lvl] = v
+		}
+		for i := range dst.replaceMaps {
+			dst.rebuildReplaceMap(&dst.replaceMaps[i])
+		}
+		dst.clearCaches()
 	}
 	memo := map[Ref]Ref{False: False, True: True}
 	mark := dst.TempMark()
@@ -39,19 +79,23 @@ func (k *Kernel) CopyTo(dst *Kernel, roots ...Ref) ([]Ref, error) {
 		if g, ok := memo[f]; ok {
 			return g, nil
 		}
-		n := &k.nodes[f]
-		if int(n.level) >= dst.numVars {
-			return Invalid, fmt.Errorf("bdd: CopyTo needs variable %d, destination has %d", n.level, dst.numVars)
+		v := k.level2var[k.level[f]]
+		if int(v) >= dst.numVars {
+			return Invalid, fmt.Errorf("bdd: CopyTo needs variable %d, destination has %d", v, dst.numVars)
 		}
-		low, err := copyNode(n.low)
+		dl := dst.var2level[v]
+		low, err := copyNode(k.low[f])
 		if err != nil {
 			return Invalid, err
 		}
-		high, err := copyNode(n.high)
+		high, err := copyNode(k.high[f])
 		if err != nil {
 			return Invalid, err
 		}
-		g := dst.makeNode(n.level, low, high)
+		if uint32(dst.Level(low)) <= dl || uint32(dst.Level(high)) <= dl {
+			return Invalid, fmt.Errorf("bdd: CopyTo: destination variable order is incompatible with the source's")
+		}
+		g := dst.makeNode(dl, low, high)
 		if g == Invalid {
 			return Invalid, dst.Err()
 		}

@@ -9,27 +9,30 @@ package bdd
 
 // Cube returns the conjunction of the positive literals of vars. Cube BDDs
 // identify variable sets for the quantification operations; being ordinary
-// BDDs they also serve as cache keys.
+// BDDs they also serve as cache keys. The chain is built in level order
+// under the current variable order, so cubes — like every other Ref — do
+// not survive a Reorder unless pinned (pinned cubes are rewritten in place
+// and stay valid).
 func (k *Kernel) Cube(vars ...int) Ref {
 	// Build bottom-up in descending level order so each step is a single
 	// makeNode.
 	seen := make(map[int]bool, len(vars))
-	sorted := make([]int, 0, len(vars))
+	levels := make([]uint32, 0, len(vars))
 	for _, v := range vars {
 		k.checkVar(v)
 		if !seen[v] {
 			seen[v] = true
-			sorted = append(sorted, v)
+			levels = append(levels, k.var2level[v])
 		}
 	}
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+	for i := 1; i < len(levels); i++ {
+		for j := i; j > 0 && levels[j] < levels[j-1]; j-- {
+			levels[j], levels[j-1] = levels[j-1], levels[j]
 		}
 	}
 	acc := True
-	for i := len(sorted) - 1; i >= 0; i-- {
-		acc = k.makeNode(uint32(sorted[i]), False, acc)
+	for i := len(levels) - 1; i >= 0; i-- {
+		acc = k.makeNode(levels[i], False, acc)
 		if acc == Invalid {
 			return Invalid
 		}
@@ -37,14 +40,14 @@ func (k *Kernel) Cube(vars ...int) Ref {
 	return acc
 }
 
-// CubeVars lists, in ascending order, the variables of a cube previously
-// produced by Cube.
+// CubeVars lists the variables of a cube previously produced by Cube, in
+// ascending level order (which is ascending variable order under the
+// identity order).
 func (k *Kernel) CubeVars(cube Ref) []int {
 	var vars []int
 	for cube != True && cube != False {
-		n := &k.nodes[cube]
-		vars = append(vars, int(n.level))
-		cube = n.high
+		vars = append(vars, int(k.level2var[k.level[cube]]))
+		cube = k.high[cube]
 	}
 	return vars
 }
@@ -52,12 +55,14 @@ func (k *Kernel) CubeVars(cube Ref) []int {
 // Exists returns ∃vars(f), where vars is a cube.
 func (k *Kernel) Exists(f, cube Ref) Ref {
 	k.gcIfNeeded(f, cube)
+	k.maybeGrowQuantCache()
 	return k.quant(opExists, f, cube)
 }
 
 // Forall returns ∀vars(f), where vars is a cube.
 func (k *Kernel) Forall(f, cube Ref) Ref {
 	k.gcIfNeeded(f, cube)
+	k.maybeGrowQuantCache()
 	return k.quant(opForall, f, cube)
 }
 
@@ -65,6 +70,7 @@ func (k *Kernel) Forall(f, cube Ref) Ref {
 // bdd_appex. op must be one of OpAnd, OpOr, OpXor.
 func (k *Kernel) AppEx(f, g Ref, op ApplyOp, cube Ref) Ref {
 	k.gcIfNeeded(f, g, cube)
+	k.maybeGrowQuantCache()
 	return k.appQuant(opAppEx, uint32(op), f, g, cube)
 }
 
@@ -72,8 +78,25 @@ func (k *Kernel) AppEx(f, g Ref, op ApplyOp, cube Ref) Ref {
 // bdd_appall.
 func (k *Kernel) AppAll(f, g Ref, op ApplyOp, cube Ref) Ref {
 	k.gcIfNeeded(f, g, cube)
+	k.maybeGrowQuantCache()
 	return k.appQuant(opAppAll, uint32(op), f, g, cube)
 }
+
+// maybeGrowQuantCache doubles the quantification cache once the observed
+// lookup volume outgrows it. Growing only at operation entry keeps the
+// table stable during a recursion (no stale entry pointers).
+func (k *Kernel) maybeGrowQuantCache() {
+	if k.fixedCache {
+		return
+	}
+	for len(k.quantCache) < maxQuantCacheSize && k.quantLookups > uint64(len(k.quantCache))*8 {
+		size := len(k.quantCache) * 2
+		k.quantCache = make([]quantEntry, size)
+		k.quantMask = uint32(size - 1)
+	}
+}
+
+const maxQuantCacheSize = 1 << 16
 
 // ApplyOp selects the boolean connective for AppEx and AppAll.
 type ApplyOp uint32
@@ -93,32 +116,32 @@ func (k *Kernel) quant(op uint32, f, cube Ref) Ref {
 		return f
 	}
 	k.appliedCount++
-	slot := (uint32(f)*0x9e3779b9 ^ uint32(cube)*0xc2b2ae35 ^ op*0x27d4eb2f) & k.cacheMask
+	k.quantLookups++
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(cube)*0xc2b2ae35 ^ op*0x27d4eb2f) & k.quantMask
 	e := &k.quantCache[slot]
 	if e.epoch == k.cacheEpoch && e.op == op && e.f == f && e.cube == cube {
-		k.cacheHits++
+		k.quantHits++
 		return e.res
 	}
-	n := &k.nodes[f]
-	level, lowIn, highIn := n.level, n.low, n.high
+	level, lowIn, highIn := k.level[f], k.low[f], k.high[f]
 	// Advance the cube below level: variables above f's top variable do not
 	// occur in f, so quantifying them is the identity.
 	c := cube
 	for c != True {
-		cl := k.nodes[c].level
+		cl := k.level[c]
 		if cl >= level {
 			break
 		}
-		c = k.nodes[c].high
+		c = k.high[c]
 	}
 	if c == True {
 		*e = quantEntry{op: op, f: f, cube: cube, res: f, epoch: k.cacheEpoch}
 		return f
 	}
 	var res Ref
-	if k.nodes[c].level == level {
+	if k.level[c] == level {
 		// Quantified variable: combine the cofactors.
-		below := k.nodes[c].high
+		below := k.high[c]
 		low := k.quant(op, lowIn, below)
 		if low == Invalid {
 			return Invalid
@@ -162,37 +185,38 @@ func (k *Kernel) appQuant(mode, op uint32, f, g, cube Ref) Ref {
 	}
 	f, g = normalizeApply(op, f, g)
 	k.appliedCount++
+	k.quantLookups++
 	key := mode<<4 | op
-	slot := (uint32(f)*0x9e3779b9 ^ uint32(g)*0x85ebca6b ^ uint32(cube)*0xc2b2ae35 ^ key*0x27d4eb2f) & k.cacheMask
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(g)*0x85ebca6b ^ uint32(cube)*0xc2b2ae35 ^ key*0x27d4eb2f) & k.quantMask
 	e := &k.quantCache[slot]
 	if e.epoch == k.cacheEpoch && e.op == key && e.f == f && e.g == g && e.cube == cube {
-		k.cacheHits++
+		k.quantHits++
 		return e.res
 	}
-	fn, gn := &k.nodes[f], &k.nodes[g]
 	var level uint32
 	var f0, f1, g0, g1 Ref
+	fl, gl := k.level[f], k.level[g]
 	switch {
-	case fn.level == gn.level:
-		level = fn.level
-		f0, f1 = fn.low, fn.high
-		g0, g1 = gn.low, gn.high
-	case fn.level < gn.level:
-		level = fn.level
-		f0, f1 = fn.low, fn.high
+	case fl == gl:
+		level = fl
+		f0, f1 = k.low[f], k.high[f]
+		g0, g1 = k.low[g], k.high[g]
+	case fl < gl:
+		level = fl
+		f0, f1 = k.low[f], k.high[f]
 		g0, g1 = g, g
 	default:
-		level = gn.level
+		level = gl
 		f0, f1 = f, f
-		g0, g1 = gn.low, gn.high
+		g0, g1 = k.low[g], k.high[g]
 	}
 	c := cube
-	for c != True && k.nodes[c].level < level {
-		c = k.nodes[c].high
+	for c != True && k.level[c] < level {
+		c = k.high[c]
 	}
 	var res Ref
-	if c != True && k.nodes[c].level == level {
-		below := k.nodes[c].high
+	if c != True && k.level[c] == level {
+		below := k.high[c]
 		low := k.appQuant(mode, op, f0, g0, below)
 		if low == Invalid {
 			return Invalid

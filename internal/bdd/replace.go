@@ -18,23 +18,23 @@ type ReplaceMap struct {
 
 // NewReplaceMap interns the substitution pairs[i][0] → pairs[i][1]. The
 // substitution must be injective (no duplicate sources or targets) and
-// monotone on its sources: if u < v are both renamed then
-// target(u) < target(v). Monotonicity is necessary but not sufficient for a
-// single linear pass — whether the rename is order-safe also depends on the
-// support of the BDD it is applied to (a variable that keeps its level must
-// not end up ordered across a renamed one). Replace therefore performs a
-// runtime check and aborts with ErrOrder when the input violates it;
-// callers then rebuild the BDD in the target variables instead (the fdd
-// layer does exactly that).
+// monotone on its sources under the current variable order: if u is placed
+// above v and both are renamed then target(u) stays above target(v).
+// Monotonicity is necessary but not sufficient for a single linear pass —
+// whether the rename is order-safe also depends on the support of the BDD
+// it is applied to (a variable that keeps its level must not end up ordered
+// across a renamed one). Replace therefore performs a runtime check and
+// aborts with ErrOrder when the input violates it; callers then rebuild the
+// BDD in the target variables instead (the fdd layer does exactly that).
+//
+// The registered pairs are variable pairs; the level-indexed form used by
+// the recursion is derived from the current order and rebuilt after every
+// Reorder or AddVars. A reorder can break a map's monotonicity; Replace
+// then reports ErrOrder until an order that restores it is in effect.
 func (k *Kernel) NewReplaceMap(pairs [][2]int) (ReplaceMap, error) {
-	target := make([]uint32, k.numVars)
-	for i := range target {
-		target[i] = uint32(i)
-	}
 	usedDst := make(map[int]bool, len(pairs))
 	usedSrc := make(map[int]bool, len(pairs))
-	srcs := make([]int, 0, len(pairs))
-	last := uint32(0)
+	stored := make([][2]int, 0, len(pairs))
 	for _, p := range pairs {
 		src, dst := p[0], p[1]
 		k.checkVar(src)
@@ -47,23 +47,49 @@ func (k *Kernel) NewReplaceMap(pairs [][2]int) (ReplaceMap, error) {
 		}
 		usedDst[dst] = true
 		usedSrc[src] = true
-		target[src] = uint32(dst)
-		srcs = append(srcs, src)
-		if uint32(src) > last {
-			last = uint32(src)
+		stored = append(stored, [2]int{src, dst})
+	}
+	rm := replaceMap{pairs: stored}
+	k.rebuildReplaceMap(&rm)
+	if !rm.valid {
+		return ReplaceMap{}, ErrOrder
+	}
+	k.replaceMaps = append(k.replaceMaps, rm)
+	return ReplaceMap{id: int32(len(k.replaceMaps) - 1)}, nil
+}
+
+// rebuildReplaceMap derives the level-indexed target table of rm from its
+// variable pairs under the current order, and records whether the map is
+// monotone (sources in level order map to targets in level order).
+func (k *Kernel) rebuildReplaceMap(rm *replaceMap) {
+	target := make([]uint32, k.numVars)
+	for i := range target {
+		target[i] = uint32(i)
+	}
+	last := uint32(0)
+	srcLevels := make([]int, 0, len(rm.pairs))
+	for _, p := range rm.pairs {
+		sl := k.var2level[p[0]]
+		target[sl] = k.var2level[p[1]]
+		srcLevels = append(srcLevels, int(sl))
+		if sl > last {
+			last = sl
 		}
 	}
-	sort.Ints(srcs)
+	sort.Ints(srcLevels)
+	valid := true
 	prev := int64(-1)
-	for _, s := range srcs {
+	for _, s := range srcLevels {
 		t := int64(target[s])
 		if t <= prev {
-			return ReplaceMap{}, ErrOrder
+			valid = false
+			break
 		}
 		prev = t
 	}
-	k.replaceMaps = append(k.replaceMaps, replaceMap{target: target, lastLevel: last})
-	return ReplaceMap{id: int32(len(k.replaceMaps) - 1)}, nil
+	rm.target = target
+	rm.lastLevel = last
+	rm.valid = valid
 }
 
 // Replace applies the interned substitution m to f: every variable u with a
@@ -75,8 +101,28 @@ func (k *Kernel) Replace(f Ref, m ReplaceMap) Ref {
 	if int(m.id) >= len(k.replaceMaps) {
 		panic("bdd: replace map from a different kernel")
 	}
+	if !k.replaceMaps[m.id].valid {
+		k.err = ErrOrder
+		return Invalid
+	}
+	k.maybeGrowReplaceCache()
 	return k.replaceRec(f, m.id)
 }
+
+// maybeGrowReplaceCache doubles the replacement cache once the observed
+// lookup volume outgrows it; see maybeGrowQuantCache.
+func (k *Kernel) maybeGrowReplaceCache() {
+	if k.fixedCache {
+		return
+	}
+	for len(k.replaceCache) < maxReplaceCacheSize && k.replaceLookups > uint64(len(k.replaceCache))*8 {
+		size := len(k.replaceCache) * 2
+		k.replaceCache = make([]replaceEntry, size)
+		k.replaceMask = uint32(size - 1)
+	}
+}
+
+const maxReplaceCacheSize = 1 << 15
 
 func (k *Kernel) replaceRec(f Ref, id int32) Ref {
 	if k.err != nil || f == Invalid {
@@ -86,19 +132,19 @@ func (k *Kernel) replaceRec(f Ref, id int32) Ref {
 		return f
 	}
 	rm := &k.replaceMaps[id]
-	if k.nodes[f].level > rm.lastLevel {
+	if k.level[f] > rm.lastLevel {
 		return f
 	}
 	k.appliedCount++
-	slot := (uint32(f)*0x9e3779b9 ^ uint32(id)*0x85ebca6b ^ 0x7feb352d) & k.cacheMask
+	k.replaceLookups++
+	slot := (uint32(f)*0x9e3779b9 ^ uint32(id)*0x85ebca6b ^ 0x7feb352d) & k.replaceMask
 	e := &k.replaceCache[slot]
 	if e.epoch == k.cacheEpoch && e.f == f && e.mapID == id {
-		k.cacheHits++
+		k.replaceHits++
 		return e.res
 	}
-	n := &k.nodes[f]
-	level, lowIn, highIn := n.level, n.low, n.high
-	newLevel := uint32(level)
+	level, lowIn, highIn := k.level[f], k.low[f], k.high[f]
+	newLevel := level
 	if int(level) < len(k.replaceMaps[id].target) {
 		newLevel = k.replaceMaps[id].target[level]
 	}
@@ -132,13 +178,13 @@ func (k *Kernel) Restrict(f Ref, assignment []Literal) Ref {
 	if len(assignment) == 0 {
 		return f
 	}
-	val := make([]int8, k.numVars) // -1 unset is encoded as 0; use +1/+2
+	val := make([]int8, k.numVars) // indexed by level; -1 unset is encoded as 0; use +1/+2
 	for _, lit := range assignment {
 		k.checkVar(lit.Var)
 		if lit.Value {
-			val[lit.Var] = 2
+			val[k.var2level[lit.Var]] = 2
 		} else {
-			val[lit.Var] = 1
+			val[k.var2level[lit.Var]] = 1
 		}
 	}
 	memo := make(map[Ref]Ref)
@@ -153,8 +199,7 @@ func (k *Kernel) Restrict(f Ref, assignment []Literal) Ref {
 		if r, ok := memo[g]; ok {
 			return r
 		}
-		n := &k.nodes[g]
-		level, lowIn, highIn := n.level, n.low, n.high
+		level, lowIn, highIn := k.level[g], k.low[g], k.high[g]
 		var res Ref
 		switch val[level] {
 		case 2:
@@ -194,7 +239,14 @@ type Literal struct {
 func (k *Kernel) Minterm(lits []Literal) Ref {
 	sorted := make([]Literal, len(lits))
 	copy(sorted, lits)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Var < sorted[j].Var })
+	for _, lit := range sorted {
+		k.checkVar(lit.Var)
+	}
+	// Sort by level so the bottom-up build sees descending levels; ties
+	// (duplicate variables) stay adjacent because a variable has one level.
+	sort.Slice(sorted, func(i, j int) bool {
+		return k.var2level[sorted[i].Var] < k.var2level[sorted[j].Var]
+	})
 	for i := 1; i < len(sorted); i++ {
 		if sorted[i].Var == sorted[i-1].Var {
 			if sorted[i].Value != sorted[i-1].Value {
@@ -207,11 +259,10 @@ func (k *Kernel) Minterm(lits []Literal) Ref {
 		if i+1 < len(sorted) && sorted[i].Var == sorted[i+1].Var {
 			continue
 		}
-		k.checkVar(sorted[i].Var)
 		if sorted[i].Value {
-			acc = k.makeNode(uint32(sorted[i].Var), False, acc)
+			acc = k.makeNode(k.var2level[sorted[i].Var], False, acc)
 		} else {
-			acc = k.makeNode(uint32(sorted[i].Var), acc, False)
+			acc = k.makeNode(k.var2level[sorted[i].Var], acc, False)
 		}
 		if acc == Invalid {
 			return Invalid

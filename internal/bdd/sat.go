@@ -3,6 +3,7 @@ package bdd
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // sat.go implements model counting, satisfying-assignment extraction and
@@ -16,11 +17,10 @@ func (k *Kernel) Eval(f Ref, value []bool) bool {
 		panic("bdd: Eval on Invalid ref")
 	}
 	for !k.isTerminal(f) {
-		n := &k.nodes[f]
-		if value[n.level] {
-			f = n.high
+		if value[k.level2var[k.level[f]]] {
+			f = k.high[f]
 		} else {
-			f = n.low
+			f = k.low[f]
 		}
 	}
 	return f == True
@@ -45,9 +45,9 @@ func (k *Kernel) SatCount(f Ref) float64 {
 		if c, ok := memo[g]; ok {
 			return c
 		}
-		n := &k.nodes[g]
-		low := rec(n.low) * math.Exp2(float64(k.Level(n.low)-int(n.level)-1))
-		high := rec(n.high) * math.Exp2(float64(k.Level(n.high)-int(n.level)-1))
+		level, lo, hi := int(k.level[g]), k.low[g], k.high[g]
+		low := rec(lo) * math.Exp2(float64(k.Level(lo)-level-1))
+		high := rec(hi) * math.Exp2(float64(k.Level(hi)-level-1))
 		c := low + high
 		memo[g] = c
 		return c
@@ -64,20 +64,29 @@ func (k *Kernel) SatCountWithin(f Ref, vars []int) float64 {
 	if f == Invalid {
 		panic("bdd: SatCountWithin on Invalid ref")
 	}
-	rank := make(map[int]int, len(vars))
+	// Rank the variables by their position in the current order: the
+	// recursion multiplies by 2^(gap) for the don't-care levels skipped
+	// between a node and its child, so ranks must follow levels.
+	levels := make([]int, len(vars))
 	for i, v := range vars {
 		if i > 0 && vars[i-1] >= v {
 			panic("bdd: SatCountWithin vars not sorted ascending")
 		}
-		rank[v] = i
+		k.checkVar(v)
+		levels[i] = int(k.var2level[v])
+	}
+	sort.Ints(levels)
+	rank := make(map[int]int, len(levels))
+	for i, l := range levels {
+		rank[l] = i
 	}
 	rankOf := func(g Ref) int {
 		if k.isTerminal(g) {
 			return len(vars)
 		}
-		r, ok := rank[k.Level(g)]
+		r, ok := rank[int(k.level[g])]
 		if !ok {
-			panic(fmt.Sprintf("bdd: SatCountWithin: variable %d in support but not in vars", k.Level(g)))
+			panic(fmt.Sprintf("bdd: SatCountWithin: variable %d in support but not in vars", k.VarOf(g)))
 		}
 		return r
 	}
@@ -94,8 +103,8 @@ func (k *Kernel) SatCountWithin(f Ref, vars []int) float64 {
 			return c
 		}
 		r := rankOf(g)
-		low := rec(k.Low(g)) * math.Exp2(float64(rankOf(k.Low(g))-r-1))
-		high := rec(k.High(g)) * math.Exp2(float64(rankOf(k.High(g))-r-1))
+		low := rec(k.low[g]) * math.Exp2(float64(rankOf(k.low[g])-r-1))
+		high := rec(k.high[g]) * math.Exp2(float64(rankOf(k.high[g])-r-1))
 		c := low + high
 		memo[g] = c
 		return c
@@ -115,13 +124,13 @@ func (k *Kernel) AnySat(f Ref) ([]Literal, bool) {
 	}
 	var lits []Literal
 	for !k.isTerminal(f) {
-		n := &k.nodes[f]
-		if n.high != False {
-			lits = append(lits, Literal{Var: int(n.level), Value: true})
-			f = n.high
+		v := int(k.level2var[k.level[f]])
+		if k.high[f] != False {
+			lits = append(lits, Literal{Var: v, Value: true})
+			f = k.high[f]
 		} else {
-			lits = append(lits, Literal{Var: int(n.level), Value: false})
-			f = n.low
+			lits = append(lits, Literal{Var: v, Value: false})
+			f = k.low[f]
 		}
 	}
 	return lits, true
@@ -145,9 +154,9 @@ func (k *Kernel) AllSat(f Ref, visit func([]Literal) bool) {
 		case True:
 			return visit(path)
 		}
-		n := &k.nodes[g]
-		level, low, high := n.level, n.low, n.high
-		path = append(path, Literal{Var: int(level), Value: false})
+		v := int(k.level2var[k.level[g]])
+		low, high := k.low[g], k.high[g]
+		path = append(path, Literal{Var: v, Value: false})
 		if !rec(low) {
 			return false
 		}
@@ -175,14 +184,14 @@ func (k *Kernel) NodeCount(f Ref) int {
 		g := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		n := &k.nodes[g]
-		if !k.isTerminal(n.low) && !seen[n.low] {
-			seen[n.low] = true
-			stack = append(stack, n.low)
+		lo, hi := k.low[g], k.high[g]
+		if !k.isTerminal(lo) && !seen[lo] {
+			seen[lo] = true
+			stack = append(stack, lo)
 		}
-		if !k.isTerminal(n.high) && !seen[n.high] {
-			seen[n.high] = true
-			stack = append(stack, n.high)
+		if !k.isTerminal(hi) && !seen[hi] {
+			seen[hi] = true
+			stack = append(stack, hi)
 		}
 	}
 	return count
@@ -205,14 +214,14 @@ func (k *Kernel) SharedNodeCount(roots ...Ref) int {
 		g := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		n := &k.nodes[g]
-		if !k.isTerminal(n.low) && !seen[n.low] {
-			seen[n.low] = true
-			stack = append(stack, n.low)
+		lo, hi := k.low[g], k.high[g]
+		if !k.isTerminal(lo) && !seen[lo] {
+			seen[lo] = true
+			stack = append(stack, lo)
 		}
-		if !k.isTerminal(n.high) && !seen[n.high] {
-			seen[n.high] = true
-			stack = append(stack, n.high)
+		if !k.isTerminal(hi) && !seen[hi] {
+			seen[hi] = true
+			stack = append(stack, hi)
 		}
 	}
 	return count
@@ -233,9 +242,8 @@ func (k *Kernel) Support(f Ref) []int {
 	for len(stack) > 0 {
 		g := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := &k.nodes[g]
-		inSupport[n.level] = true
-		for _, c := range []Ref{n.low, n.high} {
+		inSupport[k.level2var[k.level[g]]] = true
+		for _, c := range []Ref{k.low[g], k.high[g]} {
 			if !k.isTerminal(c) && !seen[c] {
 				seen[c] = true
 				stack = append(stack, c)

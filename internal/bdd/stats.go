@@ -27,15 +27,33 @@ type Stats struct {
 	GCRuns int
 	// Ops counts recursive apply steps, a proxy for work performed.
 	Ops uint64
-	// CacheHits counts operation-cache hits.
+	// CacheHits counts operation-cache hits across all three caches.
 	CacheHits uint64
-	// CacheEntries is the current per-operation cache size in entries.
+	// CacheEntries is the apply cache's current size in entries (the other
+	// two caches report their own sizes below).
 	CacheEntries int
 	// Allocs counts node allocations since kernel creation. Unlike Live it
 	// is monotonic — garbage collection never lowers it — which makes the
 	// difference of two snapshots a meaningful "nodes allocated" figure for
 	// the work between them.
 	Allocs uint64
+
+	// Per-operation cache figures. Each cache is sized independently;
+	// lookups and hits are monotonic, so two snapshots give a windowed hit
+	// rate.
+	ApplyLookups   uint64
+	ApplyHits      uint64
+	QuantLookups   uint64
+	QuantHits      uint64
+	QuantEntries   int
+	ReplaceLookups uint64
+	ReplaceHits    uint64
+	ReplaceEntries int
+
+	// Reorders counts completed dynamic-reordering runs; ReorderSaved is
+	// the cumulative live-node reduction they achieved.
+	Reorders     int
+	ReorderSaved uint64
 }
 
 // Delta is the movement of the kernel's monotonic counters between two
@@ -82,16 +100,26 @@ func (d Delta) IsZero() bool { return d == Delta{} }
 // Stats takes a snapshot of the kernel's counters.
 func (k *Kernel) Stats() Stats {
 	return Stats{
-		Live:         k.live,
-		Peak:         k.peak,
-		Capacity:     len(k.nodes),
-		Vars:         k.numVars,
-		Budget:       k.budget,
-		GCRuns:       k.gcCount,
-		Ops:          k.appliedCount,
-		CacheHits:    k.cacheHits,
-		CacheEntries: len(k.applyCache),
-		Allocs:       k.allocCount,
+		Live:           k.live,
+		Peak:           k.peak,
+		Capacity:       len(k.level),
+		Vars:           k.numVars,
+		Budget:         k.budget,
+		GCRuns:         k.gcCount,
+		Ops:            k.appliedCount,
+		CacheHits:      k.applyHits + k.quantHits + k.replaceHits,
+		CacheEntries:   len(k.applyCache),
+		Allocs:         k.allocCount,
+		ApplyLookups:   k.applyLookups,
+		ApplyHits:      k.applyHits,
+		QuantLookups:   k.quantLookups,
+		QuantHits:      k.quantHits,
+		QuantEntries:   len(k.quantCache),
+		ReplaceLookups: k.replaceLookups,
+		ReplaceHits:    k.replaceHits,
+		ReplaceEntries: len(k.replaceCache),
+		Reorders:       k.reorderRuns,
+		ReorderSaved:   k.reorderSaved,
 	}
 }
 

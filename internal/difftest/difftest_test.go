@@ -22,12 +22,19 @@ var soakSeeds = flag.Int("seeds", 70, "number of seeded cases TestDifferentialSo
 // operation instead of surfacing as a downstream verdict mismatch.
 var debugChecks = flag.Bool("debugchecks", false, "enable kernel DebugChecks on every harness kernel")
 
+// -reorder forces a full sifting pass on the primary kernel after the
+// initial load and after every update batch of every soak case, so verdict
+// and witness identity is re-proven against freshly reordered kernels.
+var reorderSoak = flag.Bool("reorder", false, "force dynamic reordering between update batches in TestDifferentialSoak")
+
 // soakBase is the fixed seed base: case i derives from soakBase+i, so every
 // run (and every CI run) replays the identical case sequence.
 const soakBase = int64(0xD1FF)
 
 func TestDifferentialSoak(t *testing.T) {
 	DebugChecks = *debugChecks
+	ForceReorder = *reorderSoak
+	defer func() { ForceReorder = false }()
 	pairs := 0
 	for i := 0; i < *soakSeeds; i++ {
 		rng := rand.New(rand.NewSource(soakBase + int64(i)))

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/sqlengine"
@@ -38,6 +39,15 @@ const witnessLimit = 10000
 // run doubles as a hunt for use-after-GC and cross-kernel handle bugs. The
 // difftest suite's -debugchecks flag sets it.
 var DebugChecks bool
+
+// ForceReorder makes RunCase run a full sifting pass (core.Checker.Reorder)
+// on the primary kernel after the initial index build and again after every
+// update batch — far more often than the production growth trigger ever
+// would — so every three-way comparison, every replica freeze and every
+// witness enumeration runs against a freshly reordered kernel. Any verdict
+// or witness divergence then implicates the reordering engine. The difftest
+// suite's -reorder flag sets it.
+var ForceReorder bool
 
 // Mismatch describes one oracle disagreement. It is a test failure in
 // waiting: the shrinker minimizes the case around it and the corpus writer
@@ -109,12 +119,18 @@ func RunCase(c *Case) (*Mismatch, error) {
 		}
 		cts[i] = logic.Constraint{Name: cs.Name, F: f}
 	}
+	if ForceReorder {
+		primary.Reorder(bdd.ReorderOptions{})
+	}
 	if mm, err := checkAll(primary, cts, 0); mm != nil || err != nil {
 		return mm, err
 	}
 	for i, batch := range c.Updates {
 		if _, err := primary.Apply(batch); err != nil {
 			return nil, fmt.Errorf("difftest: applying batch %d: %w", i+1, err)
+		}
+		if ForceReorder {
+			primary.Reorder(bdd.ReorderOptions{})
 		}
 		if mm, err := checkAll(primary, cts, i+1); mm != nil || err != nil {
 			return mm, err

@@ -68,7 +68,9 @@ func bitsFor(size int) int {
 }
 
 // NewDomain allocates a block of ⌈log₂ size⌉ fresh boolean variables at the
-// bottom of the current variable order.
+// bottom of the current variable order. The block is registered as a
+// reordering group, so dynamic reordering moves it as a unit and the
+// within-block bit order (most significant on top) is never disturbed.
 func (s *Space) NewDomain(name string, size int) *Domain {
 	if size < 1 {
 		panic(fmt.Sprintf("fdd: domain %q has size %d", name, size))
@@ -79,6 +81,7 @@ func (s *Space) NewDomain(name string, size int) *Domain {
 	for i := range vars {
 		vars[i] = base + i
 	}
+	s.k.Group(vars...)
 	d := &Domain{space: s, name: name, size: size, vars: vars}
 	s.domains = append(s.domains, d)
 	return d
@@ -103,6 +106,7 @@ func (s *Space) AdoptDomain(name string, size int, vars []int) *Domain {
 			panic(fmt.Sprintf("fdd: domain %q adopts variable %d outside kernel range [0,%d)", name, v, s.k.NumVars()))
 		}
 	}
+	s.k.Group(vars...)
 	d := &Domain{space: s, name: name, size: size, vars: append([]int(nil), vars...)}
 	s.domains = append(s.domains, d)
 	return d
@@ -119,6 +123,13 @@ func (s *Space) NewInterleavedDomains(names []string, size int) []*Domain {
 	}
 	bits := bitsFor(size)
 	base := s.k.AddVars(bits * len(names))
+	// The whole interleaved cluster is one reordering group: its blocks
+	// overlap in the variable order, so they can only move together.
+	cluster := make([]int, bits*len(names))
+	for i := range cluster {
+		cluster[i] = base + i
+	}
+	s.k.Group(cluster...)
 	out := make([]*Domain, len(names))
 	for i, name := range names {
 		vars := make([]int, bits)
@@ -328,7 +339,9 @@ func Relation(doms []*Domain, rows [][]int) (bdd.Ref, error) {
 	if len(rows) == 0 {
 		return bdd.False, nil
 	}
-	// Columns of the bit matrix, in ascending kernel-variable order.
+	// Columns of the bit matrix, in ascending level order (the bottom-up
+	// build needs the kernel's current variable order, not variable index
+	// order — the two differ after a reorder).
 	type bitSrc struct {
 		variable int
 		dom      int
@@ -340,7 +353,7 @@ func Relation(doms []*Domain, rows [][]int) (bdd.Ref, error) {
 			cols = append(cols, bitSrc{variable: v, dom: di, shift: uint(len(d.vars) - 1 - bi)})
 		}
 	}
-	sort.Slice(cols, func(i, j int) bool { return cols[i].variable < cols[j].variable })
+	sort.Slice(cols, func(i, j int) bool { return k.LevelOfVar(cols[i].variable) < k.LevelOfVar(cols[j].variable) })
 	nbits := len(cols)
 	enc := make([][]byte, len(rows))
 	for r, row := range rows {

@@ -294,7 +294,7 @@ func (ix *Index) Contains(row []int32) bool {
 		byVar[l.Var] = l.Value
 	}
 	for !k.IsTerminal(f) {
-		v, ok := byVar[k.Level(f)]
+		v, ok := byVar[k.VarOf(f)]
 		if !ok {
 			// Variable of another block: both branches agree on this
 			// projection only if the node does not actually test an

@@ -34,6 +34,10 @@ type serverMetrics struct {
 	stApply     *obs.Histogram
 	stFreeze    *obs.Histogram
 
+	// Dynamic-reordering pause time, observed by the worker around each
+	// sifting run.
+	stReorder *obs.Histogram
+
 	// Replica-pool job latency, observed inside internal/replica.
 	replicaQueueWait, replicaRun *obs.Histogram
 
@@ -98,6 +102,23 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 	m.slowRequests = r.Counter("cv_slow_requests_total", "", "Requests at or above the slow-request threshold.")
 
+	// Dynamic-reordering metrics. Count and nodes-saved mirror the primary
+	// kernel's counters through the worker-published snapshot; the duration
+	// histogram is the sift pause observed by the worker.
+	kernelCounter := func(pick func(kernelView) uint64) func() uint64 {
+		return func() uint64 {
+			if snap := s.snap.Load(); snap != nil {
+				return pick(snap.kernel)
+			}
+			return 0
+		}
+	}
+	r.CounterFunc("cv_reorder_count", "", "Completed dynamic variable-reordering (sifting) runs.",
+		kernelCounter(func(kv kernelView) uint64 { return uint64(kv.Reorders) }))
+	r.CounterFunc("cv_reorder_nodes_saved", "", "Cumulative live-node reduction achieved by reordering runs.",
+		kernelCounter(func(kv kernelView) uint64 { return kv.ReorderSaved }))
+	m.stReorder = r.Histogram("cv_reorder_duration_seconds", "", "Write-path pause taken by one reordering run, in seconds.")
+
 	const respHelp = "HTTP responses sent, by status class."
 	m.resp[2] = r.Counter("cv_http_responses_total", `class="2xx"`, respHelp)
 	m.resp[4] = r.Counter("cv_http_responses_total", `class="4xx"`, respHelp)
@@ -157,13 +178,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 		for i := 0; i < pool.Size(); i++ {
 			i := i
 			registerKernel(r, `kernel="replica-`+strconv.Itoa(i)+`"`, func() (kernelView, bool) {
-				ks := pool.Stats()[i].Kernel
-				return kernelView{
-					Live: ks.Live, Peak: ks.Peak, Capacity: ks.Capacity,
-					Vars: ks.Vars, Budget: ks.Budget, GCRuns: ks.GCRuns,
-					Ops: ks.Ops, CacheHits: ks.CacheHits, Allocs: ks.Allocs,
-					CacheEntries: ks.CacheEntries,
-				}, true
+				return kernelViewOf(pool.Stats()[i].Kernel), true
 			})
 		}
 	}
@@ -230,4 +245,23 @@ func registerKernel(r *obs.Registry, labels string, view func() (kernelView, boo
 		counter(func(kv kernelView) uint64 { return kv.CacheHits }))
 	r.CounterFunc("cv_kernel_nodes_allocated_total", labels, "Nodes allocated since kernel creation (monotonic).",
 		counter(func(kv kernelView) uint64 { return kv.Allocs }))
+	// The three operation caches are sized independently; a per-op hit rate
+	// says which one is earning its memory. Lifetime ratio, 0 until traffic.
+	const hitHelp = "Operation-cache hit rate since kernel creation, by operation."
+	rate := func(pick func(kernelView) (hits, lookups uint64)) func() float64 {
+		return func() float64 {
+			if kv, ok := view(); ok {
+				if hits, lookups := pick(kv); lookups > 0 {
+					return float64(hits) / float64(lookups)
+				}
+			}
+			return 0
+		}
+	}
+	r.GaugeFunc("cv_kernel_cache_hit_rate", labels+`,op="apply"`, hitHelp,
+		rate(func(kv kernelView) (uint64, uint64) { return kv.ApplyHits, kv.ApplyLookups }))
+	r.GaugeFunc("cv_kernel_cache_hit_rate", labels+`,op="quant"`, hitHelp,
+		rate(func(kv kernelView) (uint64, uint64) { return kv.QuantHits, kv.QuantLookups }))
+	r.GaugeFunc("cv_kernel_cache_hit_rate", labels+`,op="replace"`, hitHelp,
+		rate(func(kv kernelView) (uint64, uint64) { return kv.ReplaceHits, kv.ReplaceLookups }))
 }

@@ -1,0 +1,264 @@
+package service_test
+
+// reorder_test.go exercises dynamic variable reordering end to end over
+// HTTP: the worker sifts the kernel between update batches, publishes the
+// compacted order as a fresh epoch, and concurrent readers see only old- or
+// new-epoch answers — never an error — while a post-sift snapshot restores
+// identical verdicts on warm restart.
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// newReorderFixture builds a CUST catalog whose column dictionaries are
+// wide enough that later update batches can keep inserting fresh value
+// combinations (growing the index BDD and tripping the reorder heuristic)
+// without ever growing a dictionary past its block width.
+func newReorderFixture(t *testing.T) (*core.Checker, []logic.Constraint) {
+	t.Helper()
+	cat := relation.NewCatalog()
+	cust, err := cat.CreateTable("CUST", []relation.Column{
+		{Name: "city"}, {Name: "areacode"}, {Name: "state"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed every dictionary value up front. State S00 is "NJ"; its seed rows
+	// use the allowed 201/973/908 codes except one fixed violator, so
+	// nj_codes is violated in every epoch and toronto_ontario (no Toronto
+	// rows at all) holds in every epoch.
+	codes := []string{"201", "973", "908"}
+	for i := 0; i < 32; i++ {
+		area := fmt.Sprintf("A%02d", i)
+		state := fmt.Sprintf("S%02d", i%16)
+		if i%16 == 0 {
+			state = "NJ"
+			area = codes[i%len(codes)]
+		}
+		cust.Insert(fmt.Sprintf("C%02d", i), area, state)
+	}
+	cust.Insert("Newark", "416", "NJ") // the standing nj_codes violation
+	chk := core.New(cat, core.Options{})
+	if _, err := chk.BuildIndex("CUST", "CUST", nil, core.OrderSchema); err != nil {
+		t.Fatal(err)
+	}
+	cts, err := logic.ParseConstraints(testRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chk, cts
+}
+
+// growthBatch returns the n-th update batch: five inserts of previously
+// unused (city, areacode, state) combinations drawn from the seeded
+// dictionaries, so the index BDD grows every round.
+func growthBatch(n int) service.UpdateRequest {
+	ups := make([]service.UpdateTuple, 0, 5)
+	for j := 0; j < 5; j++ {
+		i := n*5 + j
+		ups = append(ups, service.UpdateTuple{
+			Table: "CUST",
+			Op:    "insert",
+			Values: []string{
+				fmt.Sprintf("C%02d", (i*7+3)%32),
+				fmt.Sprintf("A%02d", (i*11+5)%32),
+				fmt.Sprintf("S%02d", (i*3)%15+1), // never NJ (S00)
+			},
+		})
+	}
+	return service.UpdateRequest{Updates: ups}
+}
+
+// metricValue scrapes /metricsz and returns the summed value of the metric
+// samples whose name (with any label set) matches name.
+func metricValue(t *testing.T, baseURL, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	total, found := 0.0, false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '{' {
+			continue // a longer name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("metric line %q: %v", line, err)
+		}
+		total += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric %s not found on /metricsz", name)
+	}
+	return total
+}
+
+// TestReorderZeroReadDowntime drives update batches that trip the reorder
+// heuristic while reader goroutines hammer /check: every response must be a
+// definite old- or new-epoch answer (the fixture keeps both verdicts
+// constant across epochs), and at least one sift must actually have run.
+func TestReorderZeroReadDowntime(t *testing.T) {
+	chk, cts := newReorderFixture(t)
+	srv, err := service.New(chk, cts, service.Options{
+		Replicas:        2,
+		Reorder:         true,
+		ReorderGrowth:   1.0001, // any growth over the baseline sifts
+		ReorderMinNodes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp service.CheckResponse
+				if status := post(t, ts.URL+"/check", service.CheckRequest{}, &resp); status != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("/check status %d", status):
+					default:
+					}
+					return
+				}
+				for _, res := range resp.Results {
+					switch {
+					case res.Error != "":
+						select {
+						case errs <- fmt.Sprintf("%s errored: %s", res.Name, res.Error):
+						default:
+						}
+						return
+					case res.Name == "nj_codes" && !res.Violated,
+						res.Name == "toronto_ontario" && res.Violated:
+						select {
+						case errs <- fmt.Sprintf("%s flipped verdict (violated=%v)", res.Name, res.Violated):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for n := 0; n < 40; n++ {
+		var resp service.UpdateResponse
+		if status := post(t, ts.URL+"/update", growthBatch(n), &resp); status != http.StatusOK || resp.Error != "" {
+			t.Fatalf("update batch %d: status %d, error %q", n, status, resp.Error)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	if n := metricValue(t, ts.URL, "cv_reorder_count"); n < 1 {
+		t.Fatalf("cv_reorder_count = %v, want at least one sift", n)
+	}
+	metricValue(t, ts.URL, "cv_reorder_nodes_saved") // must exist
+	if rates := metricValue(t, ts.URL, "cv_kernel_cache_hit_rate"); rates <= 0 {
+		t.Fatalf("cv_kernel_cache_hit_rate sums to %v, want > 0 after traffic", rates)
+	}
+	if c := metricValue(t, ts.URL, "cv_reorder_duration_seconds_count"); c < 1 {
+		t.Fatalf("cv_reorder_duration_seconds observed %v runs, want at least 1", c)
+	}
+}
+
+// TestReorderSnapshotWarmRestart sifts, snapshots every batch, and restarts
+// from the data directory: the recovered checker must adopt the sifted
+// variable order from the snapshot and report identical verdicts.
+func TestReorderSnapshotWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, cts := newReorderFixture(t)
+	if err := st.WriteSnapshot(chk, store.RenderConstraints(cts), 1); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(chk, cts, service.Options{
+		Store:                st,
+		InitialEpoch:         1,
+		SnapshotEveryBatches: 1,
+		Reorder:              true,
+		ReorderGrowth:        1.0001,
+		ReorderMinNodes:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	for n := 0; n < 10; n++ {
+		var resp service.UpdateResponse
+		if status := post(t, ts.URL+"/update", growthBatch(n), &resp); status != http.StatusOK || resp.Error != "" {
+			t.Fatalf("update batch %d: status %d, error %q", n, status, resp.Error)
+		}
+	}
+	if n := metricValue(t, ts.URL, "cv_reorder_count"); n < 1 {
+		t.Fatalf("cv_reorder_count = %v, want at least one sift before the snapshot", n)
+	}
+	before := checkVerdicts(t, ts.URL)
+
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := reopenServer(t, dir, service.Options{})
+	after := checkVerdicts(t, ts2.URL)
+	if len(before) != len(after) {
+		t.Fatalf("verdict sets differ: %v vs %v", before, after)
+	}
+	for name, v := range before {
+		if after[name] != v {
+			t.Errorf("constraint %s: violated=%v before restart, %v after", name, v, after[name])
+		}
+	}
+	if !before["nj_codes"] || before["toronto_ontario"] {
+		t.Fatalf("fixture verdicts drifted: %v", before)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -102,6 +103,18 @@ type Options struct {
 	// restart, so epochs keep rising monotonically across process lives.
 	// Zero means a fresh start (epoch 1).
 	InitialEpoch uint64
+	// Reorder enables dynamic variable reordering: between update batches the
+	// worker sifts the kernel's variable order when the live-node count has
+	// grown past ReorderGrowth × the post-reorder baseline, then publishes
+	// the compacted kernel as the round's epoch through the usual freeze
+	// path, so readers swap to it with zero downtime.
+	Reorder bool
+	// ReorderGrowth is the trigger factor; core.ReorderGrowthDefault when
+	// zero or below 1.
+	ReorderGrowth float64
+	// ReorderMinNodes is the live-node floor below which no sift runs;
+	// core.ReorderMinNodesDefault when zero.
+	ReorderMinNodes int
 }
 
 // DefaultMaxBodyBytes is the request-body cap applied when
@@ -207,6 +220,34 @@ type kernelView struct {
 	Live, Peak, Capacity, Vars, Budget, GCRuns int
 	Ops, CacheHits, Allocs                     uint64
 	CacheEntries                               int
+
+	// Per-operation cache traffic, for the op-labelled hit-rate gauges.
+	ApplyLookups, ApplyHits     uint64
+	QuantLookups, QuantHits     uint64
+	ReplaceLookups, ReplaceHits uint64
+
+	// Dynamic-reordering counters.
+	Reorders     int
+	ReorderSaved uint64
+}
+
+// kernelViewOf converts a kernel snapshot into the lock-free view published
+// for /statsz and the gauge callbacks.
+func kernelViewOf(ks bdd.Stats) kernelView {
+	return kernelView{
+		Live: ks.Live, Peak: ks.Peak, Capacity: ks.Capacity,
+		Vars: ks.Vars, Budget: ks.Budget, GCRuns: ks.GCRuns,
+		Ops: ks.Ops, CacheHits: ks.CacheHits, Allocs: ks.Allocs,
+		CacheEntries:   ks.CacheEntries,
+		ApplyLookups:   ks.ApplyLookups,
+		ApplyHits:      ks.ApplyHits,
+		QuantLookups:   ks.QuantLookups,
+		QuantHits:      ks.QuantHits,
+		ReplaceLookups: ks.ReplaceLookups,
+		ReplaceHits:    ks.ReplaceHits,
+		Reorders:       ks.Reorders,
+		ReorderSaved:   ks.ReorderSaved,
+	}
 }
 
 // IndexStats describes one logical index for /statsz.
@@ -419,6 +460,23 @@ func (s *Server) applyBatch(batch []*updateJob) {
 		}
 		replies[i] = updateReply{applied: applied, err: err}
 	}
+	// Between the batch and its freeze is the only safe point to reorganize
+	// the kernel: no check is running (the worker owns the kernel) and the
+	// compacted structure rides the very next epoch to replicas and
+	// snapshots. Readers keep answering on the previous version while the
+	// sift runs, so reads see no downtime, only old- or new-epoch answers.
+	if s.opts.Reorder {
+		reorderStart := time.Now()
+		if st, ran := s.chk.MaybeReorder(s.opts.ReorderGrowth, s.opts.ReorderMinNodes, bdd.ReorderOptions{}); ran {
+			d := time.Since(reorderStart)
+			s.metrics.stReorder.Observe(d)
+			for _, u := range batch {
+				u.trace.Record("reorder", reorderStart, d, nil)
+			}
+			s.opts.SlowLog.Printf("reorder (epoch %d): %d -> %d nodes, %d swaps, %v",
+				epoch, st.Before, st.After, st.Swaps, d)
+		}
+	}
 	// One freeze covers the whole coalesced round; every job in the batch
 	// waited on it, so each trace carries the span.
 	freezeStart := time.Now()
@@ -602,14 +660,8 @@ func (s *Server) refuseQueued() {
 // worker starts) may call it. full recounts index nodes, which walks the
 // index BDDs; check jobs publish light snapshots and reuse the last counts.
 func (s *Server) publish(full bool) {
-	ks := s.chk.KernelStats()
 	snap := &snapshot{
-		kernel: kernelView{
-			Live: ks.Live, Peak: ks.Peak, Capacity: ks.Capacity,
-			Vars: ks.Vars, Budget: ks.Budget, GCRuns: ks.GCRuns,
-			Ops: ks.Ops, CacheHits: ks.CacheHits, Allocs: ks.Allocs,
-			CacheEntries: ks.CacheEntries,
-		},
+		kernel:  kernelViewOf(s.chk.KernelStats()),
 		checker: s.chk.Stats(),
 	}
 	for _, t := range s.chk.Catalog().Tables() {

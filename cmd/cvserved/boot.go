@@ -8,6 +8,7 @@ package main
 // back to a CSV rebuild that would shadow durable state.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/relation"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -31,6 +33,11 @@ type bootConfig struct {
 	fsync         store.FsyncPolicy
 	fsyncInterval time.Duration
 	retain        int
+
+	// follow is the leader's base URL in follower mode. An empty data
+	// directory then bootstraps from the leader's newest snapshot instead of
+	// CSV files; CSV and constraints flags are not required.
+	follow string
 
 	logf func(format string, args ...any)
 }
@@ -66,6 +73,13 @@ func boot(cfg bootConfig) (*bootResult, error) {
 		return nil, fmt.Errorf("opening data directory %s: %w", cfg.dataDir, err)
 	}
 	res, err := func() (*bootResult, error) {
+		if cfg.follow != "" && !st.HasSnapshot() {
+			// Fresh follower: its first state is the leader's, never CSV.
+			if err := fetchInitialSnapshot(cfg, st); err != nil {
+				return nil, err
+			}
+			return bootWarm(cfg, st)
+		}
 		if st.HasSnapshot() {
 			return bootWarm(cfg, st)
 		}
@@ -110,6 +124,28 @@ func bootWarm(cfg bootConfig, st *store.Store) (*bootResult, error) {
 		epoch = 1
 	}
 	return &bootResult{chk: chk, constraints: constraints, st: st, initialEpoch: epoch, warm: true}, nil
+}
+
+// fetchInitialSnapshot pulls the leader's newest snapshot into the empty
+// store, retrying briefly so a follower and its leader can start together.
+func fetchInitialSnapshot(cfg bootConfig, st *store.Store) error {
+	const attempts = 5
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(time.Duration(i) * 500 * time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		var epoch uint64
+		epoch, err = service.FetchSnapshot(ctx, nil, cfg.follow, st)
+		cancel()
+		if err == nil {
+			cfg.logf("bootstrapped from %s: snapshot at epoch %d", cfg.follow, epoch)
+			return nil
+		}
+		cfg.logf("snapshot fetch from %s (attempt %d/%d): %v", cfg.follow, i+1, attempts, err)
+	}
+	return fmt.Errorf("bootstrapping from leader %s: %w", cfg.follow, err)
 }
 
 // bootCold builds the checker from CSV files and the constraints file. With

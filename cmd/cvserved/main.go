@@ -20,6 +20,15 @@
 // A damaged or newer-format data directory refuses to start (no silent CSV
 // fallback). cvstore inspects, verifies and compacts the directory offline.
 //
+// With -follow <leader-url> (requires -data-dir) the daemon runs as a
+// read-only follower: an empty data directory bootstraps from the leader's
+// newest snapshot, then the leader's WAL is tailed over /wal long-polls and
+// every acknowledged epoch is applied through the same incremental
+// maintenance path, logged locally, and published to the read pool. /check
+// and /witnesses serve as usual (-max-lag bounds their staleness); /update
+// answers 421 naming the leader. Any server with -data-dir serves GET
+// /snapshot/{epoch} and GET /wal, so followers can chain.
+//
 // Endpoints:
 //
 //	POST /check      {"constraints": ["nj_codes"], "text": "...", "timeout_ms": 500, "node_budget": 0}
@@ -86,6 +95,9 @@ func main() {
 	snapshotEvery := flag.Int("snapshot-every", 0, "write a snapshot after this many update batches (0 = default 64 when -data-dir is set)")
 	snapshotBytes := flag.Int64("snapshot-bytes", 0, "write a snapshot when the WAL reaches this size (0 = off)")
 	retain := flag.Int("retain", 0, "snapshots retained for ?epoch=N reads (0 = default 4)")
+	follow := flag.String("follow", "", "leader base URL: run as a read-only follower replicating its snapshot + WAL (requires -data-dir)")
+	maxLag := flag.Uint64("max-lag", 0, "refuse live reads with 503 when more than this many epochs behind the leader (0 = serve at any staleness)")
+	pollWait := flag.Duration("poll-wait", 0, "leader /wal long-poll duration (0 = default 10s)")
 	reorder := flag.Bool("reorder", false, "sift the BDD variable order between update batches when the kernel grows")
 	reorderGrowth := flag.Float64("reorder-growth", 0, "reorder when live nodes exceed this factor of the post-reorder baseline (0 = default 2.0)")
 	reorderMinNodes := flag.Int("reorder-min-nodes", 0, "never reorder kernels smaller than this many live nodes (0 = default 4096)")
@@ -96,8 +108,13 @@ func main() {
 	flag.Parse()
 
 	// Without a data directory the CSV flags are mandatory; with one, a warm
-	// restart needs neither (boot validates the cold-start combination).
-	if *dataDir == "" && (len(tables) == 0 || *constraintsPath == "") {
+	// restart needs neither (boot validates the cold-start combination). A
+	// follower bootstraps from the leader, so it only needs the data
+	// directory its replicated state lives in.
+	if *follow != "" && *dataDir == "" {
+		fatal(errors.New("-follow requires -data-dir (the follower's replicated state lives there)"))
+	}
+	if *follow == "" && *dataDir == "" && (len(tables) == 0 || *constraintsPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -127,12 +144,17 @@ func main() {
 		fsync:           fsync,
 		fsyncInterval:   *fsyncInterval,
 		retain:          *retain,
+		follow:          *follow,
 		logf:            log.Printf,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
+	var followerOpts *service.FollowerOptions
+	if *follow != "" {
+		followerOpts = &service.FollowerOptions{URL: *follow, MaxLag: *maxLag, PollWait: *pollWait}
+	}
 	srv, err := service.New(res.chk, res.constraints, service.Options{
 		QueueDepth:           *queue,
 		MaxBatch:             *maxBatch,
@@ -148,6 +170,7 @@ func main() {
 		Reorder:              *reorder,
 		ReorderGrowth:        *reorderGrowth,
 		ReorderMinNodes:      *reorderMinNodes,
+		Follower:             followerOpts,
 	})
 	if err != nil {
 		fatal(err)

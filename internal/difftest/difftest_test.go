@@ -27,6 +27,12 @@ var debugChecks = flag.Bool("debugchecks", false, "enable kernel DebugChecks on 
 // and witness identity is re-proven against freshly reordered kernels.
 var reorderSoak = flag.Bool("reorder", false, "force dynamic reordering between update batches in TestDifferentialSoak")
 
+// -follower adds a fourth comparison target to every soak case: a checker
+// recovered from a snapshot + WAL store fed the same update batches — the
+// artifacts a cvserved follower replicates — must match the primary's
+// verdicts and witness sets at every step.
+var followerSoak = flag.Bool("follower", false, "cross-check a WAL-shipped follower checker at every soak step")
+
 // soakBase is the fixed seed base: case i derives from soakBase+i, so every
 // run (and every CI run) replays the identical case sequence.
 const soakBase = int64(0xD1FF)
@@ -34,7 +40,8 @@ const soakBase = int64(0xD1FF)
 func TestDifferentialSoak(t *testing.T) {
 	DebugChecks = *debugChecks
 	ForceReorder = *reorderSoak
-	defer func() { ForceReorder = false }()
+	FollowerSoak = *followerSoak
+	defer func() { ForceReorder = false; FollowerSoak = false }()
 	pairs := 0
 	for i := 0; i < *soakSeeds; i++ {
 		rng := rand.New(rand.NewSource(soakBase + int64(i)))

@@ -1,0 +1,119 @@
+package difftest
+
+// follower.go adds a fourth evaluation path to the harness: a WAL-shipped
+// follower. When FollowerSoak is on, RunCase seals the initial catalog as an
+// epoch-1 snapshot in a throwaway store, appends every update batch to its
+// WAL under the next epoch — exactly the artifacts a cvserved follower
+// receives over /snapshot and /wal — and after each step recovers a fresh
+// checker from snapshot + WAL replay and compares it against the primary:
+// verdicts on every constraint, and full witness-set identity on violated
+// validity checks. Any disagreement means snapshot/WAL replication would
+// hand a replica a state that answers differently from its leader.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/store"
+)
+
+// FollowerSoak makes RunCase cross-check a WAL-shipped follower after the
+// initial load and after every update batch. The difftest suite's -follower
+// flag sets it.
+var FollowerSoak bool
+
+// followerOracle owns the throwaway store the case's artifacts ship through.
+type followerOracle struct {
+	dir  string
+	st   *store.Store
+	opts core.Options
+}
+
+// newFollowerOracle seals the primary's current state as the epoch-1
+// snapshot — the follower's bootstrap image.
+func newFollowerOracle(primary *core.Checker, cts []logic.Constraint) (*followerOracle, error) {
+	dir, err := os.MkdirTemp("", "difftest-follower-*")
+	if err != nil {
+		return nil, fmt.Errorf("difftest: follower store dir: %w", err)
+	}
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncOff})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("difftest: opening follower store: %w", err)
+	}
+	if err := st.WriteSnapshot(primary, store.RenderConstraints(cts), 1); err != nil {
+		st.Close()
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("difftest: sealing follower bootstrap snapshot: %w", err)
+	}
+	return &followerOracle{dir: dir, st: st, opts: primary.Options()}, nil
+}
+
+func (f *followerOracle) close() {
+	f.st.Close()
+	os.RemoveAll(f.dir)
+}
+
+// ship appends one applied batch under its epoch — the WAL record a leader
+// would serve to tailing followers.
+func (f *followerOracle) ship(epoch uint64, batch []core.Update) error {
+	return f.st.AppendBatch(epoch, batch)
+}
+
+// check recovers a follower checker from the shipped artifacts and holds it
+// against the primary. The caller runs it only after checkAll passed, so the
+// primary's own answers are already known to agree with the SQL baseline.
+func (f *followerOracle) check(primary *core.Checker, cts []logic.Constraint, step int) (*Mismatch, error) {
+	fol, _, _, err := f.st.Recover(f.opts)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: follower recovery at step %d: %w", step, err)
+	}
+	if DebugChecks {
+		fol.Store().Kernel().SetDebugChecks(true)
+	}
+	for _, ct := range cts {
+		mm := func(kind, format string, args ...interface{}) *Mismatch {
+			return &Mismatch{Step: step, Constraint: ct.Name, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+		}
+		pres := primary.CheckOne(ct)
+		fres := fol.CheckOne(ct)
+		if fres.Err != nil || fres.FellBack {
+			reason := fres.Err
+			if reason == nil {
+				reason = fres.FallbackReason
+			}
+			return mm("follower-error", "follower BDD check failed after snapshot+WAL replay: %v", reason), nil
+		}
+		if pres.Violated != fres.Violated {
+			return mm("follower-verdict", "primary(%s)=%v follower(%s)=%v after %d shipped batches",
+				pres.Method, pres.Violated, fres.Method, fres.Violated, step), nil
+		}
+		if !pres.Violated {
+			continue
+		}
+		an, err := logic.Analyze(ct.F, primary.Resolver())
+		if err != nil {
+			return nil, fmt.Errorf("difftest: analyzing %s: %w", ct.Name, err)
+		}
+		if logic.Rewrite(an.F, logic.DefaultRewriteOptions()).Mode != logic.CheckValidity {
+			continue // existence checks have no per-binding witnesses
+		}
+		pw, err := primary.ViolationWitnesses(ct, witnessLimit)
+		if err != nil {
+			return mm("witness-error", "primary witness enumeration failed: %v", err), nil
+		}
+		fw, err := fol.ViolationWitnesses(ct, witnessLimit)
+		if err != nil {
+			return mm("witness-error", "follower witness enumeration failed: %v", err), nil
+		}
+		if len(pw) >= witnessLimit || len(fw) >= witnessLimit {
+			continue // truncated enumerations are not comparable
+		}
+		if diff := SetDiff(WitnessSet(pw), WitnessSet(fw)); diff != "" {
+			return mm("follower-witnesses", "primary vs follower: %s (primary %d, follower %d)", diff, len(pw), len(fw)), nil
+		}
+	}
+	return nil, nil
+}

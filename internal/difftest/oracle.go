@@ -125,6 +125,16 @@ func RunCase(c *Case) (*Mismatch, error) {
 	if mm, err := checkAll(primary, cts, 0); mm != nil || err != nil {
 		return mm, err
 	}
+	var fol *followerOracle
+	if FollowerSoak {
+		if fol, err = newFollowerOracle(primary, cts); err != nil {
+			return nil, err
+		}
+		defer fol.close()
+		if mm, err := fol.check(primary, cts, 0); mm != nil || err != nil {
+			return mm, err
+		}
+	}
 	for i, batch := range c.Updates {
 		if _, err := primary.Apply(batch); err != nil {
 			return nil, fmt.Errorf("difftest: applying batch %d: %w", i+1, err)
@@ -134,6 +144,17 @@ func RunCase(c *Case) (*Mismatch, error) {
 		}
 		if mm, err := checkAll(primary, cts, i+1); mm != nil || err != nil {
 			return mm, err
+		}
+		if fol != nil {
+			// Ship the batch the way the leader's WAL would carry it (epoch
+			// 1 is the bootstrap snapshot; batch i+1 lands at epoch i+2) and
+			// re-prove the follower against the primary.
+			if err := fol.ship(uint64(i)+2, batch); err != nil {
+				return nil, fmt.Errorf("difftest: shipping batch %d: %w", i+1, err)
+			}
+			if mm, err := fol.check(primary, cts, i+1); mm != nil || err != nil {
+				return mm, err
+			}
 		}
 	}
 	return nil, nil

@@ -1,0 +1,16 @@
+// Package repltest holds the end-to-end fault-injection suite for cvserved's
+// leader/follower replication: a real leader and a real follower run their
+// full HTTP stacks on loopback listeners, updates are driven through the
+// leader's public API, and every fault the design claims to survive —
+// follower restarts mid-tail, corrupted or truncated snapshot streams, a
+// leader that pruned past the follower's position, a leader too far ahead of
+// a MaxLag-bounded replica — is injected for real (a byte-flipping reverse
+// proxy, process-style restarts over the same data directory, aggressive
+// snapshot retention) and must end where replication promises: the follower
+// reaches the leader's epoch and answers every constraint with the identical
+// verdict and witness set.
+//
+// The package contains tests only; the CI replication-smoke job covers the
+// remaining scenario these in-process tests cannot (kill -9 of a live
+// leader process).
+package repltest

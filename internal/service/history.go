@@ -55,7 +55,9 @@ func (s *Server) checkAtEpoch(ctx context.Context, epoch uint64, cts []logic.Con
 	e, fresh := s.historyEntry(epoch)
 	if fresh {
 		// First requester materializes; holders of e.mu below wait for it.
-		chk, err := s.st.CheckerAt(epoch, s.chk.Options())
+		// coreOpts, not s.chk.Options(): this runs on handler goroutines,
+		// and the worker may be swapping s.chk under a follower re-bootstrap.
+		chk, err := s.st.CheckerAt(epoch, s.coreOpts)
 		e.chk, e.err = chk, err
 		e.mu <- struct{}{} // release: entry is ready
 		if err != nil {

@@ -159,6 +159,8 @@ type StatszResponse struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Durability reports the data directory's state; absent without one.
 	Durability *store.Status `json:"durability,omitempty"`
+	// Follower reports replication progress; absent on a leader.
+	Follower *FollowerStats `json:"follower,omitempty"`
 }
 
 // ReplicationStats reports the replicated read path: pool size, current
@@ -247,6 +249,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	if s.st != nil {
+		// Replication endpoints: any server with a durability store can feed
+		// a follower (followers included, so replicas can chain).
+		mux.HandleFunc("GET /snapshot/{epoch}", s.handleSnapshotFetch)
+		mux.HandleFunc("GET /wal", s.handleWALTail)
+	}
 	return mux
 }
 
@@ -335,6 +343,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var results []core.Result
 	if live {
+		if serr := s.stalenessErr(); serr != nil {
+			s.httpError(w, serr)
+			return
+		}
 		rep, serr := s.submitCheck(ctx, cts, req.NodeBudget, 0, tr)
 		if serr != nil {
 			s.httpError(w, serr)
@@ -435,6 +447,10 @@ func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	if limit <= 0 {
 		limit = 10
 	}
+	if serr := s.stalenessErr(); serr != nil {
+		s.httpError(w, serr)
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	rep, err := s.submitCheck(ctx, cts, req.NodeBudget, limit, tr)
@@ -459,6 +475,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	tr, wantTrace := s.traceFor(r)
 	defer s.finishRequest("update", start, tr)
+	if s.follow != nil {
+		// A follower's state is defined by the leader's log; accepting a
+		// local write would fork it. 421 names the right destination.
+		w.Header().Set(HeaderLeader, s.follow.URL)
+		s.writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+			"error":  "read-only follower: send updates to the leader",
+			"leader": s.follow.URL,
+		})
+		return
+	}
 	var req UpdateRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -594,6 +620,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		st := s.st.Status()
 		resp.Durability = &st
 	}
+	resp.Follower = s.followerStats()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -644,7 +671,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrShuttingDown), errors.Is(err, ErrStale):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

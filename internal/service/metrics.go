@@ -205,6 +205,29 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(st.LastSnapshotEpoch()) })
 		r.GaugeFunc("cv_epoch", "", "Last durably acknowledged update epoch.",
 			func() float64 { return float64(s.epoch.Load()) })
+
+		// Leader-side replication traffic: any server with a store can feed
+		// followers.
+		const serveHelp = "Replication artifacts served to followers, by endpoint."
+		r.CounterFunc("cv_replication_serves_total", `endpoint="snapshot"`, serveHelp, s.nSnapshotServes.Load)
+		r.CounterFunc("cv_replication_serves_total", `endpoint="wal"`, serveHelp, s.nWALServes.Load)
+	}
+
+	if s.follow != nil {
+		r.GaugeFunc("cv_follower_lag_epochs", "", "Epochs the follower is behind the leader's last reported epoch.",
+			func() float64 { return float64(s.followerLag()) })
+		r.GaugeFunc("cv_follower_leader_epoch", "", "The leader's last reported epoch.",
+			func() float64 { return float64(s.leaderEpoch.Load()) })
+		r.GaugeFunc("cv_follower_state", "", "Tail-loop phase: 0 starting, 1 tailing, 2 bootstrapping, 3 retrying.",
+			func() float64 { return float64(s.replState.Load()) })
+		r.CounterFunc("cv_wal_tail_polls_total", "", "WAL long-polls that reached the leader.", s.nTailPolls.Load)
+		r.CounterFunc("cv_wal_tail_errors_total", "", "WAL long-polls that failed (network, decode, or leader error).", s.nTailErrors.Load)
+		r.CounterFunc("cv_wal_tail_records_total", "", "WAL records tailed from the leader and applied.", s.nTailRecords.Load)
+		r.CounterFunc("cv_wal_tail_tuples_total", "", "Tuples carried by tailed WAL records.", s.nTailTuples.Load)
+		r.CounterFunc("cv_snapshot_fetch_total", "", "Snapshot downloads started against the leader.", s.nSnapFetches.Load)
+		r.CounterFunc("cv_snapshot_fetch_failures_total", "", "Snapshot downloads that failed or did not verify.", s.nSnapFetchFailures.Load)
+		r.CounterFunc("cv_snapshot_fetch_bytes_total", "", "Snapshot bytes streamed from the leader.", s.nSnapFetchBytes.Load)
+		r.CounterFunc("cv_follower_rebootstraps_total", "", "Full re-bootstrap cycles (snapshot refetch after pruning or apply failure).", s.nRebootstraps.Load)
 	}
 
 	return m

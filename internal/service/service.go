@@ -115,6 +115,12 @@ type Options struct {
 	// ReorderMinNodes is the live-node floor below which no sift runs;
 	// core.ReorderMinNodesDefault when zero.
 	ReorderMinNodes int
+	// Follower, when non-nil, runs the server as a read-only replica of
+	// another cvserved: it bootstraps from the leader's newest snapshot,
+	// tails the leader's WAL, applies each acknowledged epoch through the
+	// same incremental-maintenance path the leader uses, and refuses writes
+	// (421 pointing at the leader). Requires Store. See follower.go.
+	Follower *FollowerOptions
 }
 
 // DefaultMaxBodyBytes is the request-body cap applied when
@@ -159,6 +165,41 @@ type Server struct {
 	quit    chan struct{}
 	done    chan struct{}
 	closing sync.Once
+
+	// coreOpts is the checker's runtime configuration, captured at New so
+	// goroutines that materialize historical or recovered checkers never
+	// touch s.chk (which only the worker owns — and which a follower
+	// re-bootstrap replaces outright).
+	coreOpts core.Options
+
+	// epochSig is broadcast after every epoch advance; the leader's /wal
+	// long-poll waits on it instead of busy-polling the log.
+	epochSig *epochSignal
+
+	// Replication service counters (leader side), incremented by handlers.
+	nSnapshotServes atomic.Uint64
+	nWALServes      atomic.Uint64
+
+	// Follower mode. follow is nil on a leader; repl is the worker channel
+	// the tail loop hands snapshot installs and batch groups to (nil on a
+	// leader: its select case never fires). See follower.go.
+	follow     *FollowerOptions
+	repl       chan *replJob
+	tailDone   chan struct{}
+	replCtx    context.Context
+	replCancel context.CancelFunc
+
+	// Follower-side counters and gauges (see follower.go for semantics).
+	leaderEpoch        atomic.Uint64
+	replState          atomic.Int32
+	nTailPolls         atomic.Uint64
+	nTailErrors        atomic.Uint64
+	nTailRecords       atomic.Uint64
+	nTailTuples        atomic.Uint64
+	nSnapFetches       atomic.Uint64
+	nSnapFetchFailures atomic.Uint64
+	nSnapFetchBytes    atomic.Uint64
+	nRebootstraps      atomic.Uint64
 
 	snap atomic.Pointer[snapshot]
 
@@ -287,10 +328,26 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 	}
 	s.checks = make(chan *checkJob, s.opts.QueueDepth)
 	s.updates = make(chan *updateJob, s.opts.QueueDepth)
+	s.coreOpts = chk.Options()
+	s.epochSig = newEpochSignal()
 	s.st = s.opts.Store
 	if s.st != nil {
 		s.constraintText = store.RenderConstraints(constraints)
 		s.history = make(map[uint64]*historyEntry)
+	}
+	if s.opts.Follower != nil {
+		if s.st == nil {
+			return nil, fmt.Errorf("service: follower mode requires a durability store")
+		}
+		f := s.opts.Follower.withDefaults()
+		if f.URL == "" {
+			return nil, fmt.Errorf("service: follower mode requires the leader's URL")
+		}
+		s.follow = &f
+		s.repl = make(chan *replJob)
+		s.tailDone = make(chan struct{})
+		s.replCtx, s.replCancel = context.WithCancel(context.Background())
+		s.replState.Store(int32(replStateStarting))
 	}
 	initialEpoch := uint64(1)
 	if s.opts.InitialEpoch > initialEpoch {
@@ -317,14 +374,28 @@ func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Serv
 		})
 	}
 	s.publish(true) // safe: the worker has not started yet
+	if s.follow != nil {
+		// The follower starts at the recovered epoch; until the first poll
+		// answers, assume the leader is there.
+		s.leaderEpoch.Store(initialEpoch)
+		go s.tailLoop()
+	}
 	go s.run()
 	return s, nil
 }
 
-// Close stops the worker, refusing queued and future work. It is idempotent
-// and safe from any goroutine.
+// Close stops the worker (and, in follower mode, the tail loop), refusing
+// queued and future work. It is idempotent and safe from any goroutine.
 func (s *Server) Close() {
-	s.closing.Do(func() { close(s.quit) })
+	s.closing.Do(func() {
+		close(s.quit)
+		if s.replCancel != nil {
+			s.replCancel() // aborts an in-flight long-poll or snapshot fetch
+		}
+	})
+	if s.tailDone != nil {
+		<-s.tailDone
+	}
 	<-s.done
 	if s.pool != nil {
 		s.pool.Close()
@@ -392,6 +463,8 @@ func (s *Server) run() {
 			return
 		case u := <-s.updates:
 			s.applyBatch(s.gatherUpdates(u))
+		case j := <-s.repl: // nil (never fires) on a leader
+			s.applyRepl(j)
 		case c := <-s.checks:
 			s.runCheck(c)
 		}
@@ -489,6 +562,7 @@ func (s *Server) applyBatch(batch []*updateJob) {
 	// The epoch becomes visible only after its WAL records are on disk, so
 	// every epoch a /statsz or ?epoch reader can name is fully durable.
 	s.epoch.Store(epoch)
+	s.epochSig.bump() // wakes /wal long-polls waiting for this epoch
 	s.maybeSnapshot(epoch)
 	for i, u := range batch {
 		u.trace.Record("freeze", freezeStart, fd, &delta)
@@ -650,6 +724,8 @@ func (s *Server) refuseQueued() {
 			u.reply <- updateReply{err: ErrShuttingDown}
 		case c := <-s.checks:
 			c.reply <- checkReply{err: ErrShuttingDown}
+		case j := <-s.repl: // nil (never fires) on a leader
+			j.reply <- replResult{err: ErrShuttingDown}
 		default:
 			return
 		}

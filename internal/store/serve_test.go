@@ -1,0 +1,221 @@
+package store_test
+
+import (
+	"errors"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// TestOpenSnapshotSurvivesPrune: the regression the snapshot-serving handler
+// depends on — a download in flight keeps its opened handle readable and
+// checksum-clean even after retention pruning unlinks the file under it.
+func TestOpenSnapshotSurvivesPrune(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(23))
+	chk, cts := buildFixture(t, rng, 60)
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncOff, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	text := store.RenderConstraints(cts)
+	if err := st.WriteSnapshot(chk, text, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, entry, err := st.OpenSnapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// Read only a prefix, as a slow client mid-download would have.
+	prefix := make([]byte, entry.Bytes/2)
+	if _, err := io.ReadFull(rc, prefix); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance the store past the retention window: epoch 1's file is pruned.
+	for epoch := uint64(2); epoch <= 4; epoch++ {
+		chk.Apply(randomUpdates(rng, 2)) // deletes of absent rows may stop early; any prefix will do
+		if err := st.WriteSnapshot(chk, text, epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, entry.File)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("expected %s to be pruned, stat: %v", entry.File, err)
+	}
+	if _, _, err := st.OpenSnapshot(1); !errors.Is(err, store.ErrEpochNotRetained) {
+		t.Fatalf("reopening the pruned epoch: got %v, want ErrEpochNotRetained", err)
+	}
+
+	// The in-flight download still completes, byte-exact.
+	rest, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(prefix, rest...)
+	if int64(len(all)) != entry.Bytes {
+		t.Fatalf("streamed %d bytes, manifest says %d", len(all), entry.Bytes)
+	}
+	if crc := crc32.ChecksumIEEE(all); crc != entry.CRC32 {
+		t.Fatalf("streamed crc %08x, manifest says %08x", crc, entry.CRC32)
+	}
+}
+
+// TestCheckerAtDuringSnapshotWrites races point-in-time materialization
+// against a snapshot writer that prunes aggressively (Retain 1). Every
+// CheckerAt call must either produce a working checker or classify the miss
+// as ErrEpochNotRetained — never report corruption or restore a half-pruned
+// file.
+func TestCheckerAtDuringSnapshotWrites(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(29))
+	chk, cts := buildFixture(t, rng, 40)
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncOff, Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	text := store.RenderConstraints(cts)
+	if err := st.WriteSnapshot(chk, text, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 12
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }); wg.Wait() }
+	defer halt()
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				epoch := st.LastSnapshotEpoch()
+				got, err := st.CheckerAt(epoch, core.Options{})
+				if err != nil {
+					if errors.Is(err, store.ErrEpochNotRetained) {
+						continue // pruned between the epoch read and the resolve: fine
+					}
+					t.Errorf("CheckerAt(%d): %v", epoch, err)
+					return
+				}
+				for _, ct := range cts {
+					if res := got.CheckOne(ct); res.Err != nil {
+						t.Errorf("materialized checker at epoch %d: %s: %v", epoch, ct.Name, res.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for epoch := uint64(2); epoch < 2+rounds; epoch++ {
+		ups := randomUpdates(rng, 3)
+		applied, err := chk.Apply(ups)
+		if err != nil {
+			ups = ups[:applied] // deletes of absent rows stop early, like the service
+		}
+		if len(ups) > 0 {
+			if err := st.AppendBatch(epoch, ups); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.WriteSnapshot(chk, text, epoch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	halt()
+}
+
+// TestInstallSnapshotVerifies: a shipped snapshot is only committed when the
+// stream matches the declared length and checksum; mismatches report
+// ErrCorrupt without touching the manifest, and stale epochs are refused.
+func TestInstallSnapshotVerifies(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	rng := rand.New(rand.NewSource(31))
+	chk, cts := buildFixture(t, rng, 60)
+	src, err := store.Open(srcDir, store.Options{Fsync: store.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.WriteSnapshot(chk, store.RenderConstraints(cts), 5); err != nil {
+		t.Fatal(err)
+	}
+	rc, entry, err := src.OpenSnapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := store.Open(dstDir, store.Options{Fsync: store.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	// Byte-flipped stream: detected, nothing installed.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := dst.InstallSnapshot(newByteReader(flipped), entry.Epoch, entry.Bytes, entry.CRC32); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("flipped stream: got %v, want ErrCorrupt", err)
+	}
+	// Truncated stream: detected by the length comparison.
+	if err := dst.InstallSnapshot(newByteReader(raw[:len(raw)-7]), entry.Epoch, entry.Bytes, entry.CRC32); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("truncated stream: got %v, want ErrCorrupt", err)
+	}
+	if dst.HasSnapshot() {
+		t.Fatal("a rejected install left a snapshot behind")
+	}
+
+	// The intact stream installs and recovers to the identical state.
+	if err := dst.InstallSnapshot(newByteReader(raw), entry.Epoch, entry.Bytes, entry.CRC32); err != nil {
+		t.Fatal(err)
+	}
+	restored, _, info, err := dst.Recover(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastEpoch != entry.Epoch {
+		t.Fatalf("recovered epoch %d, want %d", info.LastEpoch, entry.Epoch)
+	}
+	assertSameState(t, chk, restored, cts, "installed snapshot")
+
+	// Re-installing the same (or an older) epoch is a stale transfer.
+	if err := dst.InstallSnapshot(newByteReader(raw), entry.Epoch, entry.Bytes, entry.CRC32); err == nil {
+		t.Fatal("stale re-install succeeded")
+	}
+}
+
+// newByteReader wraps bytes in a plain io.Reader (not an io.ReaderAt or
+// Seeker), matching what an HTTP response body offers.
+func newByteReader(b []byte) io.Reader { return &byteStream{b: b} }
+
+type byteStream struct{ b []byte }
+
+func (s *byteStream) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}

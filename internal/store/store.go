@@ -5,14 +5,17 @@
 // reconstruction) and point-in-time checking (materialize the state as of a
 // retained epoch).
 //
-// Concurrency contract: AppendBatch and WriteSnapshot belong to the single
-// write-owner goroutine (the service worker) and must not race each other;
-// CheckerAt and Status may run from any goroutine. A read lock held across
-// CheckerAt's file reads keeps snapshot pruning and WAL truncation (both
-// under the write lock) from cutting files out from under a reader. A
-// concurrent append during CheckerAt is harmless: appended records carry
-// epochs newer than any epoch a reader may legally request, and a torn read
-// of the in-flight record is dropped by the tail scan.
+// Concurrency contract: AppendBatch, WriteSnapshot and InstallSnapshot
+// belong to the single write-owner goroutine (the service worker) and must
+// not race each other; CheckerAt, OpenSnapshot, WALTail.Poll and Status may
+// run from any goroutine. Readers hold the read lock only long enough to
+// resolve the manifest, open file handles, and copy WAL bytes — the
+// expensive materialization happens after release, relying on POSIX unlink
+// semantics (an open descriptor outlives a concurrent prune) and on the
+// copied bytes being immune to WAL truncation. A concurrent append during a
+// read is harmless: appended records carry epochs newer than any epoch a
+// reader may legally request, and a torn read of the in-flight record is
+// dropped by the tail scan.
 package store
 
 import (
@@ -65,6 +68,13 @@ type Store struct {
 	wal *walFile
 
 	metrics atomic.Pointer[Metrics]
+
+	// walGen counts WAL resets (snapshot installs truncate the log back to
+	// its magic). Tailing readers compare it to detect that their position
+	// no longer refers to the same log contents. Bumped under the write
+	// lock, read under the read lock (atomic only so Status-style readers
+	// could peek without blocking).
+	walGen atomic.Uint64
 
 	// Counters for /statsz and /metricsz, updated lock-free.
 	walSize           atomic.Int64
@@ -217,6 +227,16 @@ func (s *Store) restoreEntry(e *SnapshotEntry, coreOpts core.Options) (*core.Che
 		return nil, "", 0, fmt.Errorf("store: opening snapshot: %w", err)
 	}
 	defer f.Close()
+	return restoreSnapshotFile(f, *e, coreOpts)
+}
+
+// restoreSnapshotFile materializes a checker from an already-opened snapshot
+// stream, verifying length, CRC, and epoch against the manifest entry. It
+// holds no store locks: the caller opened the handle under the lock, and on
+// POSIX an open descriptor keeps reading correctly even if a concurrent
+// prune unlinks the file — so the expensive BDD reconstruction runs without
+// blocking snapshot writes.
+func restoreSnapshotFile(f io.Reader, e SnapshotEntry, coreOpts core.Options) (*core.Checker, string, uint64, error) {
 	cr := &crcReader{r: f}
 	chk, constraints, epoch, err := readSnapshot(cr, coreOpts)
 	if err != nil {
@@ -294,15 +314,28 @@ func (s *Store) WriteSnapshot(chk *core.Checker, constraints string, epoch uint6
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Rename(tmpName, filepath.Join(s.dir, name)); err != nil {
+	if err := s.installSnapshotLocked(tmpName, SnapshotEntry{Epoch: epoch, File: name, Bytes: cw.n, CRC32: cw.crc}); err != nil {
+		return err
+	}
+	if m := s.metrics.Load(); m != nil {
+		m.SnapshotWrite.Observe(time.Since(start))
+	}
+	return nil
+}
+
+// installSnapshotLocked renames a fully written, synced temp file into place
+// as entry, commits a manifest referencing it (pruning past the retention
+// count), and resets the WAL — everything logged so far is covered by the
+// snapshot. Caller holds the write lock.
+func (s *Store) installSnapshotLocked(tmpName string, entry SnapshotEntry) error {
+	if err := os.Rename(tmpName, filepath.Join(s.dir, entry.File)); err != nil {
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
 	man := &Manifest{Version: FormatVersion, WAL: s.man.WAL}
-	man.Snapshots = append(append([]SnapshotEntry(nil), s.man.Snapshots...),
-		SnapshotEntry{Epoch: epoch, File: name, Bytes: cw.n, CRC32: cw.crc})
+	man.Snapshots = append(append([]SnapshotEntry(nil), s.man.Snapshots...), entry)
 	var pruned []SnapshotEntry
 	if n := len(man.Snapshots); n > s.opts.Retain {
 		pruned = append(pruned, man.Snapshots[:n-s.opts.Retain]...)
@@ -321,12 +354,89 @@ func (s *Store) WriteSnapshot(chk *core.Checker, constraints string, epoch uint6
 	if err := s.wal.reset(); err != nil {
 		return err
 	}
+	s.walGen.Add(1)
 	s.walSize.Store(s.wal.size)
-	s.lastSnapshotEpoch.Store(epoch)
-	if m := s.metrics.Load(); m != nil {
-		m.SnapshotWrite.Observe(time.Since(start))
-	}
+	s.lastSnapshotEpoch.Store(entry.Epoch)
 	return nil
+}
+
+// OpenSnapshot opens a retained snapshot for streaming: the raw file plus
+// its manifest entry (exact length, CRC, epoch). epoch 0 means the newest.
+// The handle stays readable even if a concurrent WriteSnapshot prunes the
+// file (POSIX unlink semantics), so callers can stream it without holding
+// any store lock. ErrNoSnapshot / ErrEpochNotRetained classify misses.
+func (s *Store) OpenSnapshot(epoch uint64) (io.ReadCloser, SnapshotEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var entry *SnapshotEntry
+	if epoch == 0 {
+		entry = s.man.latest()
+		if entry == nil {
+			return nil, SnapshotEntry{}, ErrNoSnapshot
+		}
+	} else {
+		for i := range s.man.Snapshots {
+			if s.man.Snapshots[i].Epoch == epoch {
+				entry = &s.man.Snapshots[i]
+				break
+			}
+		}
+		if entry == nil {
+			if s.man.latest() == nil {
+				return nil, SnapshotEntry{}, ErrNoSnapshot
+			}
+			return nil, SnapshotEntry{}, fmt.Errorf("%w: no snapshot sealed at epoch %d", ErrEpochNotRetained, epoch)
+		}
+	}
+	f, err := os.Open(filepath.Join(s.dir, entry.File))
+	if err != nil {
+		return nil, SnapshotEntry{}, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	return f, *entry, nil
+}
+
+// InstallSnapshot streams a snapshot fetched from elsewhere (a leader) into
+// the directory as the new latest snapshot, verifying its length and CRC
+// against what the sender declared before committing anything. On success
+// the WAL is reset: local state now restarts from the installed epoch. A
+// verification failure reports ErrCorrupt (the caller should refetch); an
+// epoch at or below the current latest snapshot is refused (stale transfer).
+// Write-owner only, like WriteSnapshot.
+func (s *Store) InstallSnapshot(src io.Reader, epoch uint64, wantBytes int64, wantCRC uint32) error {
+	if epoch == 0 {
+		return fmt.Errorf("store: cannot install a snapshot for epoch 0")
+	}
+	name := SnapshotFileName(epoch)
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName)
+	cw := &crcWriter{w: tmp}
+	// Cap the copy just past the declared length so a stream that overruns
+	// is caught by the comparison below instead of filling the disk.
+	if _, err := io.Copy(cw, io.LimitReader(src, wantBytes+1)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: receiving snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if cw.n != wantBytes || cw.crc != wantCRC {
+		return fmt.Errorf("%w: fetched snapshot is %d bytes crc %08x, sender declared %d bytes crc %08x",
+			ErrCorrupt, cw.n, cw.crc, wantBytes, wantCRC)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if latest := s.man.latest(); latest != nil && epoch <= latest.Epoch {
+		return fmt.Errorf("store: refusing to install snapshot epoch %d at or below current latest %d", epoch, latest.Epoch)
+	}
+	return s.installSnapshotLocked(tmpName, SnapshotEntry{Epoch: epoch, File: name, Bytes: cw.n, CRC32: cw.crc})
 }
 
 // CheckerAt materializes the state as of epoch from the retained artifacts:
@@ -337,9 +447,16 @@ func (s *Store) WriteSnapshot(chk *core.Checker, constraints string, epoch uint6
 // epochs beyond the current one — the store cannot distinguish a future
 // epoch from a retained epoch whose batches changed no tuples.
 func (s *Store) CheckerAt(epoch uint64, coreOpts core.Options) (*core.Checker, error) {
+	// Under the read lock: only resolve the manifest entry, open the
+	// snapshot file, and copy the WAL bytes. The expensive part — BDD
+	// reconstruction and replay — runs after release, so a long
+	// materialization cannot stall WriteSnapshot (and, transitively, the
+	// write worker). The open descriptor keeps the snapshot readable even
+	// if a concurrent snapshot write prunes the file, and the copied WAL
+	// bytes are immune to the truncation that follows.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if len(s.man.Snapshots) == 0 {
+		s.mu.RUnlock()
 		return nil, ErrNoSnapshot
 	}
 	// Newest entry at or below the requested epoch.
@@ -350,20 +467,43 @@ func (s *Store) CheckerAt(epoch uint64, coreOpts core.Options) (*core.Checker, e
 		}
 	}
 	if entry == nil {
+		oldest := s.man.Snapshots[0].Epoch
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("%w: epoch %d predates the oldest retained snapshot (epoch %d)",
-			ErrEpochNotRetained, epoch, s.man.Snapshots[0].Epoch)
+			ErrEpochNotRetained, epoch, oldest)
 	}
 	isLatest := entry.Epoch == s.man.latest().Epoch
 	if !isLatest && entry.Epoch != epoch {
+		nearest := entry.Epoch
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("%w: epoch %d falls between retained snapshots (nearest is %d)",
-			ErrEpochNotRetained, epoch, entry.Epoch)
+			ErrEpochNotRetained, epoch, nearest)
 	}
-	chk, _, snapEpoch, err := s.restoreEntry(entry, coreOpts)
+	e := *entry
+	f, err := os.Open(filepath.Join(s.dir, e.File))
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	var walData []byte
+	walPath := filepath.Join(s.dir, s.man.WAL)
+	if isLatest && epoch > e.Epoch {
+		walData, err = os.ReadFile(walPath)
+		if err != nil {
+			s.mu.RUnlock()
+			f.Close()
+			return nil, fmt.Errorf("store: reading WAL: %w", err)
+		}
+	}
+	s.mu.RUnlock()
+
+	defer f.Close()
+	chk, _, snapEpoch, err := restoreSnapshotFile(f, e, coreOpts)
 	if err != nil {
 		return nil, err
 	}
-	if isLatest && epoch > snapEpoch {
-		scan, err := scanWAL(filepath.Join(s.dir, s.man.WAL))
+	if walData != nil {
+		scan, err := scanWALData(walData, walPath)
 		if err != nil {
 			return nil, err
 		}

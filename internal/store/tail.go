@@ -1,0 +1,110 @@
+package store
+
+// tail.go is the WAL tailing reader: an incremental, position-tracking
+// reader over a live log that a writer is still appending to. The leader's
+// /wal long-poll handler holds one per request so each wakeup reads only the
+// bytes appended since the previous poll instead of rescanning the file.
+//
+// Safety against the three things that can happen to a live log:
+//
+//   - Concurrent append: the writer emits each record in a single write, so
+//     a reader can only ever see a prefix of the last record. An incomplete
+//     record is "not yet" (wait and re-poll), never corruption.
+//   - Snapshot truncation (wal reset): WriteSnapshot/InstallSnapshot cut the
+//     log back to its magic after sealing a snapshot. Each reset bumps the
+//     store's WAL generation; a tailer that observes a new generation starts
+//     over at position zero. Everything erased by the reset is covered by
+//     the snapshot that triggered it, so a caller that needs those epochs
+//     must re-bootstrap from the snapshot — Poll reports the restart so the
+//     caller can tell (the leader's handler turns a gap into 410).
+//   - Recovery truncation (torn-tail drop): truncateTo only ever cuts bytes
+//     a tailer has not consumed (a tailer's position never passes the last
+//     valid record), so it needs no generation bump.
+//
+// Poll takes the store's read lock, so it cannot interleave with a reset or
+// truncation (both hold the write lock); appends are lock-free but safe per
+// the first bullet.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WALTail is an incremental reader over the store's live WAL. Create one
+// with Store.TailWAL; it is not safe for concurrent use by multiple
+// goroutines (each tailer owns its position).
+type WALTail struct {
+	s   *Store
+	pos int64  // file offset of the next unread byte (0 = before the magic)
+	gen uint64 // WAL generation the position belongs to
+}
+
+// TailWAL returns a tailing reader positioned at the start of the log.
+func (s *Store) TailWAL() *WALTail {
+	return &WALTail{s: s}
+}
+
+// Pos returns the file offset of the next unread byte.
+func (t *WALTail) Pos() int64 { return t.pos }
+
+// Poll reads every complete record appended since the previous call. A nil
+// batch slice means nothing new yet (the caller should wait and re-poll).
+// reset reports that the log was truncated by a snapshot since the last
+// call and the position restarted from zero: records delivered from now on
+// may not connect to the previously delivered sequence (the gap is covered
+// by the snapshot that caused the reset). An error means the log tail is
+// genuinely corrupt — a complete record with a bad checksum — which a crash
+// recovery pass (Recover) repairs by truncation.
+func (t *WALTail) Poll() (batches []Batch, reset bool, err error) {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	if g := t.s.walGen.Load(); g != t.gen {
+		// The WAL was reset by a snapshot; our position is meaningless.
+		if t.pos > 0 {
+			reset = true
+		}
+		t.pos = 0
+		t.gen = g
+	}
+	path := filepath.Join(t.s.dir, t.s.man.WAL)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, reset, nil // not created yet: nothing to read
+		}
+		return nil, reset, fmt.Errorf("store: opening WAL for tailing: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, reset, fmt.Errorf("store: statting WAL for tailing: %w", err)
+	}
+	start := t.pos
+	if start == 0 {
+		if st.Size() < int64(len(walMagic)) {
+			return nil, reset, nil // magic not fully written yet
+		}
+		magic := make([]byte, len(walMagic))
+		if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != walMagic {
+			return nil, reset, fmt.Errorf("store: %s is not a WAL file", path)
+		}
+		start = int64(len(walMagic))
+	}
+	if st.Size() <= start {
+		return nil, reset, nil // nothing appended since the last poll
+	}
+	data := make([]byte, st.Size()-start)
+	if _, err := f.ReadAt(data, start); err != nil {
+		return nil, reset, fmt.Errorf("store: reading WAL tail: %w", err)
+	}
+	batches, consumed, status := decodeRecords(data)
+	if status == walTailCorrupt && len(batches) == 0 {
+		// Valid records before a corrupt one are delivered first (previous
+		// polls, or the append above); only a drained prefix reports.
+		return nil, reset, fmt.Errorf("%w: WAL record at offset %d fails its checksum or does not decode",
+			ErrCorrupt, start+int64(consumed))
+	}
+	t.pos = start + int64(consumed)
+	return batches, reset, nil
+}

@@ -1,0 +1,321 @@
+package store_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// openTailFixture seals an epoch-1 snapshot so the store is recoverable,
+// returning the open store and the checker that feeds AppendBatch updates.
+func openTailFixture(t *testing.T, dir string, opts store.Options) (*store.Store, *core.Checker) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	chk, cts := buildFixture(t, rng, 60)
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshot(chk, store.RenderConstraints(cts), 1); err != nil {
+		t.Fatal(err)
+	}
+	return st, chk
+}
+
+// drainTail polls until want batches arrived (or times out), asserting the
+// reader never signals a reset.
+func drainTail(t *testing.T, tail *store.WALTail, want int) []store.Batch {
+	t.Helper()
+	var got []store.Batch
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < want {
+		bs, reset, err := tail.Poll()
+		if err != nil {
+			t.Fatalf("tail poll: %v", err)
+		}
+		if reset {
+			t.Fatalf("unexpected tail reset after %d batches", len(got))
+		}
+		got = append(got, bs...)
+		if len(bs) == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("tail stuck at %d/%d batches", len(got), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return got
+}
+
+// TestTailConcurrentAppend is the tailing reader's core property, run under
+// every fsync policy: a writer appends random batches while a reader polls
+// concurrently; the reader must deliver exactly the appended sequence — no
+// record duplicated, dropped, or reordered — and end positioned at the
+// log's exact end.
+func TestTailConcurrentAppend(t *testing.T) {
+	policies := []store.FsyncPolicy{store.FsyncBatch, store.FsyncIntervalPolicy, store.FsyncOff}
+	for _, policy := range policies {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			t.Parallel()
+			st, _ := openTailFixture(t, t.TempDir(), store.Options{
+				Fsync:         policy,
+				FsyncInterval: time.Millisecond,
+			})
+			defer st.Close()
+
+			rng := rand.New(rand.NewSource(int64(policy) + 100))
+			const nBatches = 120
+			written := make([]store.Batch, 0, nBatches)
+			for i := 0; i < nBatches; i++ {
+				written = append(written, store.Batch{
+					Epoch:   uint64(i + 2),
+					Updates: randomUpdates(rng, 1+rng.Intn(5)),
+				})
+			}
+
+			tail := st.TailWAL()
+			done := make(chan []store.Batch, 1)
+			go func() {
+				var got []store.Batch
+				for len(got) < nBatches {
+					bs, _, err := tail.Poll()
+					if err != nil {
+						t.Errorf("tail poll: %v", err)
+						break
+					}
+					got = append(got, bs...)
+					if len(bs) == 0 {
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+				done <- got
+			}()
+
+			for _, b := range written {
+				if err := st.AppendBatch(b.Epoch, b.Updates); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+			got := <-done
+			if !reflect.DeepEqual(got, written) {
+				t.Fatalf("tailed sequence differs from written sequence: got %d batches, want %d", len(got), len(written))
+			}
+			if tail.Pos() != st.WALSize() {
+				t.Fatalf("tail position %d, log size %d", tail.Pos(), st.WALSize())
+			}
+		})
+	}
+}
+
+// TestTailTornThenContinue: a torn partial record at the log's end (an
+// append a crash interrupted) must read as "nothing yet", and when valid
+// bytes replace it the reader resumes from its exact position without
+// duplicating or dropping a record.
+func TestTailTornThenContinue(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTailFixture(t, dir, store.Options{Fsync: store.FsyncOff})
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for e := uint64(2); e <= 4; e++ {
+		if err := st.AppendBatch(e, randomUpdates(rng, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := st.TailWAL()
+	if got := drainTail(t, tail, 3); got[len(got)-1].Epoch != 4 {
+		t.Fatalf("last tailed epoch %d, want 4", got[len(got)-1].Epoch)
+	}
+	posBefore := tail.Pos()
+
+	// Simulate the torn tail: a few garbage bytes shorter than a record
+	// header, appended through a second descriptor as an interrupted write
+	// would leave them.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The torn bytes are invisible: no batches, no error, position holds.
+	bs, reset, err := tail.Poll()
+	if err != nil || reset || len(bs) != 0 {
+		t.Fatalf("poll over torn tail: batches=%d reset=%v err=%v", len(bs), reset, err)
+	}
+	if tail.Pos() != posBefore {
+		t.Fatalf("torn tail moved the position: %d -> %d", posBefore, tail.Pos())
+	}
+
+	// The store's own writer continues at its append offset — exactly where
+	// the reader stands — overwriting the torn bytes, as recovery's
+	// truncate-then-append would. The reader picks up seamlessly.
+	if err := st.AppendBatch(5, randomUpdates(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTail(t, tail, 1)
+	if got[0].Epoch != 5 {
+		t.Fatalf("continued epoch %d, want 5", got[0].Epoch)
+	}
+	if tail.Pos() != st.WALSize() {
+		t.Fatalf("tail position %d, log size %d", tail.Pos(), st.WALSize())
+	}
+}
+
+// TestTailAfterCrashRecovery: the full crash shape — garbage tail on disk,
+// store reopened, Recover truncates the torn bytes — must leave a fresh
+// tailer reading exactly the surviving records, and appends after recovery
+// flow through the same reader.
+func TestTailAfterCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTailFixture(t, dir, store.Options{Fsync: store.FsyncBatch})
+	rng := rand.New(rand.NewSource(11))
+	for e := uint64(2); e <= 4; e++ {
+		if err := st.AppendBatch(e, randomUpdates(rng, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Crash mid-append: a record header that declares more payload than the
+	// file holds.
+	walPath := filepath.Join(dir, "wal.log")
+	torn := make([]byte, 12)
+	binary.LittleEndian.PutUint32(torn[0:4], 500)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := store.Open(dir, store.Options{Fsync: store.FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	_, _, info, err := st2.Recover(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.DroppedTailBytes != int64(len(torn)) {
+		t.Fatalf("recovery dropped %d tail bytes, want %d", info.DroppedTailBytes, len(torn))
+	}
+	tail := st2.TailWAL()
+	got := drainTail(t, tail, 3)
+	for i, b := range got {
+		if b.Epoch != uint64(i+2) {
+			t.Fatalf("batch %d has epoch %d, want %d", i, b.Epoch, i+2)
+		}
+	}
+	if tail.Pos() != st2.WALSize() {
+		t.Fatalf("tail position %d, log size %d after recovery", tail.Pos(), st2.WALSize())
+	}
+	if err := st2.AppendBatch(5, randomUpdates(rng, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := drainTail(t, tail, 1); got[0].Epoch != 5 {
+		t.Fatalf("post-recovery epoch %d, want 5", got[0].Epoch)
+	}
+}
+
+// TestTailSnapshotReset: sealing a snapshot truncates the log; an active
+// tailer must report the reset exactly once and then deliver only records
+// appended after it — never a pre-reset record again.
+func TestTailSnapshotReset(t *testing.T) {
+	dir := t.TempDir()
+	st, chk := openTailFixture(t, dir, store.Options{Fsync: store.FsyncOff})
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(13))
+	apply := func(epoch uint64) {
+		t.Helper()
+		ups := randomUpdates(rng, 2)
+		if applied, err := chk.Apply(ups); err != nil {
+			ups = ups[:applied] // deletes of absent rows stop early, like the service
+		}
+		if err := st.AppendBatch(epoch, ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply(2)
+	apply(3)
+	tail := st.TailWAL()
+	drainTail(t, tail, 2)
+
+	if err := st.WriteSnapshot(chk, "", 3); err != nil {
+		t.Fatal(err)
+	}
+	apply(4)
+	var got []store.Batch
+	sawReset := false
+	for len(got) < 1 {
+		bs, reset, err := tail.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawReset = sawReset || reset
+		got = append(got, bs...)
+	}
+	if !sawReset {
+		t.Fatal("tailer crossed a WAL reset without reporting it")
+	}
+	if len(got) != 1 || got[0].Epoch != 4 {
+		t.Fatalf("post-reset delivery %v, want exactly epoch 4", got)
+	}
+}
+
+// TestTailCorruptRecord: a complete record with a broken checksum is real
+// corruption (the writer emits records in one write), and the reader must
+// say so instead of waiting forever or skipping it.
+func TestTailCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTailFixture(t, dir, store.Options{Fsync: store.FsyncOff})
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(17))
+	if err := st.AppendBatch(2, randomUpdates(rng, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A "complete" record: header declares 4 payload bytes, all present,
+	// checksum deliberately wrong.
+	bad := make([]byte, 12)
+	binary.LittleEndian.PutUint32(bad[0:4], 4)
+	binary.LittleEndian.PutUint32(bad[4:8], 0xdeadbeef)
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tail := st.TailWAL()
+	// First poll drains the valid prefix.
+	bs, _, err := tail.Poll()
+	if err != nil || len(bs) != 1 || bs[0].Epoch != 2 {
+		t.Fatalf("valid prefix: batches=%v err=%v", bs, err)
+	}
+	// Then the corruption reports as an error, not a silent wait.
+	if _, _, err := tail.Poll(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("corrupt record: got %v, want ErrCorrupt", err)
+	}
+}

@@ -244,6 +244,57 @@ type WALScan struct {
 	DroppedBytes int64
 }
 
+// walTailStatus classifies what ended a record scan.
+type walTailStatus int
+
+const (
+	// walTailClean: the scan consumed its input exactly.
+	walTailClean walTailStatus = iota
+	// walTailShort: an incomplete record at the end — either an append still
+	// in flight (live tailing) or a torn tail (crash recovery).
+	walTailShort
+	// walTailCorrupt: a record that is complete but fails its checksum,
+	// declares an implausible length, or does not decode. Never produced by
+	// an in-flight append (the writer emits each record in one write), so a
+	// live reader may treat it as real corruption.
+	walTailCorrupt
+)
+
+// decodeRecords decodes consecutive records from data (which starts at a
+// record boundary, past the file magic). It returns the decoded batches, how
+// many bytes of data they span, and how the scan ended. Bytes past consumed
+// are the torn/corrupt tail (walTailShort/walTailCorrupt) or empty
+// (walTailClean).
+func decodeRecords(data []byte) (batches []Batch, consumed int, status walTailStatus) {
+	off := 0
+	for {
+		if off == len(data) {
+			return batches, off, walTailClean
+		}
+		if len(data)-off < walRecordHeader {
+			return batches, off, walTailShort
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen > maxWALRecord {
+			return batches, off, walTailCorrupt
+		}
+		if len(data)-off-walRecordHeader < plen {
+			return batches, off, walTailShort
+		}
+		payload := data[off+walRecordHeader : off+walRecordHeader+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return batches, off, walTailCorrupt
+		}
+		b, err := decodeBatch(payload)
+		if err != nil {
+			return batches, off, walTailCorrupt
+		}
+		batches = append(batches, b)
+		off += walRecordHeader + plen
+	}
+}
+
 // scanWAL decodes every valid record of a log. Corruption mid-file stops the
 // scan — everything from the first bad record on is reported as dropped tail
 // bytes, never an error; an error means the file itself could not be read or
@@ -253,6 +304,13 @@ func scanWAL(path string) (*WALScan, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: reading WAL: %w", err)
 	}
+	return scanWALData(data, path)
+}
+
+// scanWALData is scanWAL over bytes already read (CheckerAt snapshots the log
+// under the store lock and replays it after release). path is only for error
+// messages.
+func scanWALData(data []byte, path string) (*WALScan, error) {
 	if len(data) == 0 {
 		// A zero-length file is a log that was created but never got its
 		// magic written (crash inside openWAL): treat as empty.
@@ -261,33 +319,11 @@ func scanWAL(path string) (*WALScan, error) {
 	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
 		return nil, fmt.Errorf("store: %s is not a WAL file", path)
 	}
-	scan := &WALScan{ValidBytes: int64(len(walMagic))}
-	off := len(walMagic)
-	for {
-		if off == len(data) {
-			return scan, nil // clean end
-		}
-		if len(data)-off < walRecordHeader {
-			break // torn header
-		}
-		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if plen > maxWALRecord || len(data)-off-walRecordHeader < plen {
-			break // implausible or torn payload
-		}
-		payload := data[off+walRecordHeader : off+walRecordHeader+plen]
-		if crc32.ChecksumIEEE(payload) != crc {
-			break // corrupt payload
-		}
-		b, err := decodeBatch(payload)
-		if err != nil {
-			break // checksummed but undecodable: treat as corruption, stop
-		}
-		scan.Batches = append(scan.Batches, b)
+	batches, consumed, _ := decodeRecords(data[len(walMagic):])
+	scan := &WALScan{Batches: batches, ValidBytes: int64(len(walMagic) + consumed)}
+	for _, b := range batches {
 		scan.Records++
 		scan.Tuples += len(b.Updates)
-		off += walRecordHeader + plen
-		scan.ValidBytes = int64(off)
 	}
 	scan.DroppedBytes = int64(len(data)) - scan.ValidBytes
 	return scan, nil

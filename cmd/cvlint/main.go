@@ -7,20 +7,33 @@
 //	tempmark     TempMark/TempRelease paired on all paths; Protect balanced
 //	kernelmix    no bdd.Ref crosses kernels except through CopyTo
 //	stickyerr    allocating kernel ops are followed by an error consult
+//	kernelowner  structural kernel/checker mutation stays on the owner goroutine
+//	ackorder     WAL append and epoch publish happen before the ack, never after
+//	lockorder    mutex acquisition order is globally acyclic
+//	ctxleak      spawned goroutine loops observe ctx.Done or a quit channel
 //
 // cvlint is usable two ways:
 //
-//	cvlint [packages]              standalone: drives `go vet -vettool` on
+//	cvlint [flags] [packages]      standalone: drives `go vet -vettool` on
 //	                               the given packages (default ./...)
 //	go vet -vettool=$(which cvlint) ./...
 //	                               as a vet tool, the canonical CI form
 //
 // Both forms run the same analyzers over type-checked packages; the
 // standalone form simply re-executes itself through `go vet`, which supplies
-// type information for every package from the build cache. Suppress a
-// deliberate exception with a justified directive on or above the line:
+// type information for every package from the build cache, and facts
+// exported by one package's analysis travel to its importers through vet's
+// .vetx files, so the interprocedural analyzers see across package
+// boundaries. Suppress a deliberate exception with a justified directive on
+// or above the line (several analyzers may be named, comma-separated):
 //
 //	//lint:ignore tempmark kernel dies with this function; pin is intentional
+//
+// Standalone flags (cmd/go forwards no tool flags, so these tunnel to the
+// vet-tool invocations through the environment):
+//
+//	-json            emit diagnostics as JSON lines (CVLINT_JSON=1)
+//	-analyzers=a,b   run only the named analyzers (CVLINT_ANALYZERS)
 package main
 
 import (
@@ -28,9 +41,14 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/ackorder"
+	"repro/internal/analysis/ctxleak"
 	"repro/internal/analysis/kernelmix"
+	"repro/internal/analysis/kernelowner"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/sentinelcmp"
 	"repro/internal/analysis/stickyerr"
 	"repro/internal/analysis/tempmark"
@@ -43,6 +61,10 @@ var suite = []*analysis.Analyzer{
 	tempmark.Analyzer,
 	kernelmix.Analyzer,
 	stickyerr.Analyzer,
+	kernelowner.Analyzer,
+	ackorder.Analyzer,
+	lockorder.Analyzer,
+	ctxleak.Analyzer,
 }
 
 func main() {
@@ -67,13 +89,37 @@ func usage() {
 	for _, a := range suite {
 		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
 	}
-	fmt.Printf("\nUsage:\n  cvlint [packages]    (default ./...)\n  go vet -vettool=$(which cvlint) [packages]\n")
+	fmt.Printf("\nUsage:\n  cvlint [flags] [packages]    (default ./...)\n  go vet -vettool=$(which cvlint) [packages]\n")
+	fmt.Printf("\nFlags (standalone form only):\n  -json            emit diagnostics as JSON lines\n  -analyzers=a,b   run only the named analyzers\n")
 }
 
 // standalone re-executes cvlint through `go vet -vettool=self`: cmd/go
 // loads, compiles and describes each package, then calls back into the
-// unitchecker protocol above with full type information.
-func standalone(pkgs []string) int {
+// unitchecker protocol above with full type information. Output and
+// analyzer-selection flags tunnel through the environment, because cmd/go
+// does not forward tool flags to the vettool.
+func standalone(args []string) int {
+	env := os.Environ()
+	var pkgs []string
+	for i := 0; i < len(args); i++ {
+		switch arg := args[i]; {
+		case arg == "-json" || arg == "--json":
+			env = append(env, "CVLINT_JSON=1")
+		case strings.HasPrefix(arg, "-analyzers=") || strings.HasPrefix(arg, "--analyzers="):
+			sel := arg[strings.Index(arg, "=")+1:]
+			if _, err := unitchecker.Select(suite, sel); err != nil {
+				fmt.Fprintf(os.Stderr, "cvlint: %v\n", err)
+				return 2
+			}
+			env = append(env, "CVLINT_ANALYZERS="+sel)
+		case strings.HasPrefix(arg, "-"):
+			fmt.Fprintf(os.Stderr, "cvlint: unknown flag %s\n", arg)
+			usage()
+			return 2
+		default:
+			pkgs = append(pkgs, arg)
+		}
+	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cvlint: cannot locate own executable: %v\n", err)
@@ -83,6 +129,7 @@ func standalone(pkgs []string) int {
 		pkgs = []string{"./..."}
 	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, pkgs...)...)
+	cmd.Env = env
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin

@@ -1,0 +1,588 @@
+// Package ackorder enforces the log-before-ack protocol of the update path.
+//
+// The service's durability contract (DESIGN.md, "Durability") is that an
+// acknowledged update is already durable and visible: the worker appends the
+// batch to the WAL and publishes the round's epoch (replica-pool version,
+// atomic epoch store) before the submitter's reply channel receives its
+// acknowledgment. Code motion that slides durability work past the ack —
+// "log after ack" — silently re-introduces the lost-acknowledged-update bug
+// the protocol exists to prevent, and no test notices until a crash lands in
+// the window.
+//
+// The analyzer performs a must-not-follow ordering check on every function
+// body: once a path acknowledges an update, no WAL append, epoch publish, or
+// update apply may follow on that path. An acknowledgment is
+//
+//   - a channel send of a reply-shaped struct — one with both an error field
+//     and an applied/epoch field (updateReply, replResult). Sends of
+//     composite literals that set only the error field are refusals, not
+//     acknowledgments: a failed round promises nothing about durability;
+//   - a WriteHeader call with a constant 2xx status, directly or through a
+//     helper that forwards a status parameter (the helper's summary records
+//     which parameter; only call sites passing a constant 2xx count).
+//
+// Durability work is a (*store.Store) Append/AppendBatch, a (*replica.Pool)
+// Publish, an atomic Store on an epoch-named field, a (*core.Checker) Apply,
+// or a call to any function whose summary (package-local call graph, or the
+// vet fact protocol across packages) says it does one of those.
+//
+// Rounds bound the check. A call to a function that both acknowledges and
+// does durability work is a complete round (applyBatch, applyRepl): the
+// order inside it is checked where it is defined, and the state resets at
+// the call. Loop bodies are per-round as well: an iteration's ack followed
+// by the next iteration's append is two rounds, so ack state does not
+// propagate along back edges (it does propagate out of the loop).
+package ackorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ackorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ackorder",
+	Doc: "checks that update acknowledgments follow the WAL append and epoch publish " +
+		"(log-before-ack), never precede them on the same path",
+	Run: run,
+}
+
+// Fact summarizes a function's protocol-relevant effects: whether calling it
+// acknowledges an update, which durability work it performs, and — for
+// status-writer helpers — which receiver-unified parameter (1-based) it
+// forwards to WriteHeader.
+type Fact struct {
+	Acks        bool `json:"acks,omitempty"`
+	Appends     bool `json:"appends,omitempty"`
+	Publishes   bool `json:"publishes,omitempty"`
+	Applies     bool `json:"applies,omitempty"`
+	StatusParam int  `json:"status_param,omitempty"`
+}
+
+func (f *Fact) empty() bool {
+	return f == nil || (!f.Acks && !f.durable() && f.StatusParam == 0)
+}
+
+func (f *Fact) durable() bool { return f != nil && (f.Appends || f.Publishes || f.Applies) }
+
+// durVerbs renders what a summary's durability flags cover, for diagnostics.
+func (f *Fact) durVerbs() string {
+	var vs []string
+	if f.Appends {
+		vs = append(vs, "appends to the WAL")
+	}
+	if f.Publishes {
+		vs = append(vs, "publishes an epoch")
+	}
+	if f.Applies {
+		vs = append(vs, "applies updates")
+	}
+	return strings.Join(vs, ", ")
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+	info := pass.TypesInfo
+
+	params := make(map[*analysis.FuncNode]map[types.Object]int, len(g.Funcs))
+	summaries := make(map[*analysis.FuncNode]*Fact, len(g.Funcs))
+	for _, n := range g.Funcs {
+		pm := map[types.Object]int{}
+		for i, v := range analysis.FuncParams(info, n.Decl) {
+			pm[v] = i
+		}
+		params[n] = pm
+		summaries[n] = directFact(pass, n, pm)
+	}
+
+	factFor := func(fn *types.Func) *Fact {
+		if local, ok := g.ByObj[fn]; ok {
+			return summaries[local]
+		}
+		var imported Fact
+		if pass.ImportObjectFact(fn, &imported) {
+			return &imported
+		}
+		return nil
+	}
+
+	// Propagate effects through the call graph to a fixed point: flags only
+	// ever turn on, so this terminates.
+	for changed, rounds := true, 0; changed && rounds <= len(g.Funcs)+1; rounds++ {
+		changed = false
+		for _, n := range g.Funcs {
+			sum := summaries[n]
+			for _, cs := range n.Calls {
+				cf := factFor(cs.Callee)
+				if cf.empty() {
+					continue
+				}
+				if cf.Acks && !sum.Acks {
+					sum.Acks, changed = true, true
+				}
+				if cf.Appends && !sum.Appends {
+					sum.Appends, changed = true, true
+				}
+				if cf.Publishes && !sum.Publishes {
+					sum.Publishes, changed = true, true
+				}
+				if cf.Applies && !sum.Applies {
+					sum.Applies, changed = true, true
+				}
+				if cf.StatusParam > 0 {
+					args := analysis.CallArgs(info, cs.Call, cs.Callee)
+					if i := cf.StatusParam - 1; i < len(args) {
+						if is2xx(info, args[i]) && !sum.Acks {
+							sum.Acks, changed = true, true
+						} else if pi, ok := params[n][analysis.ObjectOf(info, args[i])]; ok && sum.StatusParam == 0 {
+							sum.StatusParam, changed = pi+1, true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, n := range g.Funcs {
+		if sum := summaries[n]; !sum.empty() {
+			if err := pass.ExportFact(analysis.FuncKey(n.Obj), sum); err != nil {
+				return err
+			}
+		}
+	}
+
+	w := &walker{pass: pass, info: info, factFor: factFor}
+	for _, n := range g.Funcs {
+		w.stmt(n.Decl.Body, wstate{})
+	}
+	return nil
+}
+
+// directFact scans one body (nested literals included: the service runs its
+// closures synchronously) for the protocol events the patterns recognize.
+func directFact(pass *analysis.Pass, n *analysis.FuncNode, params map[types.Object]int) *Fact {
+	info := pass.TypesInfo
+	sum := &Fact{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			ev := directEvent(info, node)
+			sum.Appends = sum.Appends || ev.appends
+			sum.Publishes = sum.Publishes || ev.publishes
+			sum.Applies = sum.Applies || ev.applies
+			sum.Acks = sum.Acks || ev.acks
+			if i, ok := writeHeaderForward(info, node, params); ok && sum.StatusParam == 0 {
+				sum.StatusParam = i + 1
+			}
+		case *ast.SendStmt:
+			if ok, _ := ackSend(info, node); ok {
+				sum.Acks = true
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// event is one classified protocol action at a call or send.
+type event struct {
+	acks                        bool
+	appends, publishes, applies bool
+	desc                        string // durability description, for reports
+}
+
+func (ev event) durable() bool { return ev.appends || ev.publishes || ev.applies }
+
+// directEvent classifies the primitive patterns of one call, ignoring callee
+// summaries.
+func directEvent(info *types.Info, call *ast.CallExpr) event {
+	var ev event
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ev
+	}
+	name := sel.Sel.Name
+	if name == "WriteHeader" && len(call.Args) == 1 && is2xx(info, call.Args[0]) {
+		ev.acks = true
+	}
+	if tv, ok := info.Types[sel.X]; ok {
+		if (name == "Append" || name == "AppendBatch") && analysis.IsStorePtr(tv.Type) {
+			ev.appends = true
+			ev.desc = "WAL append (*Store)." + name
+		}
+		if name == "Publish" && analysis.IsPoolPtr(tv.Type) {
+			ev.publishes = true
+			ev.desc = "epoch publish (*Pool).Publish"
+		}
+	}
+	if name == "Store" && len(call.Args) == 1 && epochNamed(sel.X) {
+		ev.publishes = true
+		ev.desc = "epoch publish (atomic epoch store)"
+	}
+	if _, nm, ok := analysis.CheckerMethod(info, call); ok && nm == "Apply" {
+		ev.applies = true
+		ev.desc = "update apply (*Checker).Apply"
+	}
+	return ev
+}
+
+// writeHeaderForward reports the unified parameter index a WriteHeader call
+// forwards, for status-writer helpers (writeJSON(w, status, v)).
+func writeHeaderForward(info *types.Info, call *ast.CallExpr, params map[types.Object]int) (int, bool) {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return 0, false
+	}
+	i, ok := params[analysis.ObjectOf(info, call.Args[0])]
+	return i, ok
+}
+
+// is2xx reports whether e is a constant integer in [200, 300).
+func is2xx(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	n, ok := constant.Int64Val(tv.Value)
+	return ok && n >= 200 && n < 300
+}
+
+// epochNamed reports whether the atomic value being stored is held in an
+// epoch-named variable or field (s.epoch, leaderEpoch, ...).
+func epochNamed(e ast.Expr) bool {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "epoch")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "epoch")
+	}
+	return false
+}
+
+// ackSend reports whether a send acknowledges an update: the value is
+// reply-shaped (a struct carrying both an error field and an applied/epoch
+// field) and is not an error-only refusal literal.
+func ackSend(info *types.Info, s *ast.SendStmt) (bool, string) {
+	tv, ok := info.Types[s.Value]
+	if !ok || !replyShaped(tv.Type) {
+		return false, ""
+	}
+	if errOnlyLiteral(s.Value) {
+		return false, ""
+	}
+	return true, "reply send"
+}
+
+// replyShaped reports whether t (or what it points to) is a struct with both
+// an error field and an applied/epoch field — the shape of an update
+// acknowledgment. Job and wire structs lack the error field and stay out.
+func replyShaped(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasErr, hasAck bool
+	for i := 0; i < st.NumFields(); i++ {
+		switch name := strings.ToLower(st.Field(i).Name()); name {
+		case "err", "error":
+			hasErr = true
+		case "applied", "epoch":
+			hasAck = true
+		}
+	}
+	return hasErr && hasAck
+}
+
+// errOnlyLiteral reports whether e is a composite literal (possibly behind &)
+// whose only keyed fields are the error field: a refusal, exempt from the
+// ack rule because a failed round promises no durability.
+func errOnlyLiteral(e ast.Expr) bool {
+	e = analysis.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = analysis.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || len(lit.Elts) == 0 {
+		return false
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch strings.ToLower(key.Name) {
+		case "err", "error":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// the ordering walk
+
+// wstate is the path state of the must-not-follow walk.
+type wstate struct {
+	acked  bool
+	ackPos token.Pos
+	dead   bool // the path ended (return, break, continue, goto)
+}
+
+func merge(a, b wstate) wstate {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	out := wstate{acked: a.acked || b.acked}
+	switch {
+	case a.acked:
+		out.ackPos = a.ackPos
+	case b.acked:
+		out.ackPos = b.ackPos
+	}
+	return out
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	factFor func(*types.Func) *Fact
+}
+
+// callEvent classifies one call: its direct patterns plus the callee's
+// summary.
+func (w *walker) callEvent(call *ast.CallExpr) event {
+	ev := directEvent(w.info, call)
+	callee := analysis.StaticCallee(w.info, call)
+	if callee == nil {
+		return ev
+	}
+	cf := w.factFor(callee)
+	if cf.empty() {
+		return ev
+	}
+	ev.acks = ev.acks || cf.Acks
+	if cf.StatusParam > 0 {
+		args := analysis.CallArgs(w.info, call, callee)
+		if i := cf.StatusParam - 1; i < len(args) && is2xx(w.info, args[i]) {
+			ev.acks = true
+		}
+	}
+	if cf.durable() {
+		ev.appends = ev.appends || cf.Appends
+		ev.publishes = ev.publishes || cf.Publishes
+		ev.applies = ev.applies || cf.Applies
+		if ev.desc == "" {
+			ev.desc = fmt.Sprintf("call to %s (%s)", analysis.FuncKey(callee), cf.durVerbs())
+		}
+	}
+	return ev
+}
+
+// apply folds one event into the path state, reporting durability work that
+// follows an acknowledgment. An event that both acks and does durability
+// work is a complete round: checked where it is defined, state resets here.
+func (w *walker) apply(ev event, pos token.Pos, st wstate) wstate {
+	switch {
+	case ev.acks && ev.durable():
+		return wstate{}
+	case ev.durable() && st.acked:
+		w.pass.Reportf(pos,
+			"%s after the update was acknowledged (line %d): an acknowledged update must "+
+				"already be durable and visible — WAL append and epoch publish belong before the ack",
+			ev.desc, w.pass.Fset.Position(st.ackPos).Line)
+		return st
+	case ev.acks && !st.acked:
+		st.acked, st.ackPos = true, pos
+	}
+	return st
+}
+
+// expr walks an expression, folding call events in evaluation order (operands
+// before the call itself). Function literals are separate bodies: they run
+// at some other time, so they are checked independently from a fresh state
+// and leak nothing into the enclosing path.
+func (w *walker) expr(e ast.Expr, st wstate) wstate {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		st = w.expr(e.Fun, st)
+		for _, a := range e.Args {
+			st = w.expr(a, st)
+		}
+		st = w.apply(w.callEvent(e), e.Pos(), st)
+	case *ast.FuncLit:
+		w.stmt(e.Body, wstate{})
+	case *ast.ParenExpr:
+		st = w.expr(e.X, st)
+	case *ast.SelectorExpr:
+		st = w.expr(e.X, st)
+	case *ast.StarExpr:
+		st = w.expr(e.X, st)
+	case *ast.UnaryExpr:
+		st = w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		st = w.expr(e.X, st)
+		st = w.expr(e.Y, st)
+	case *ast.IndexExpr:
+		st = w.expr(e.X, st)
+		st = w.expr(e.Index, st)
+	case *ast.SliceExpr:
+		st = w.expr(e.X, st)
+		st = w.expr(e.Low, st)
+		st = w.expr(e.High, st)
+		st = w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		st = w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			st = w.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		st = w.expr(e.Value, st)
+	}
+	return st
+}
+
+// stmt walks a statement, threading the path state through it.
+func (w *walker) stmt(s ast.Stmt, st wstate) wstate {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			st = w.stmt(sub, st)
+		}
+	case *ast.ExprStmt:
+		st = w.expr(s.X, st)
+	case *ast.SendStmt:
+		st = w.expr(s.Chan, st)
+		st = w.expr(s.Value, st)
+		if ok, _ := ackSend(w.info, s); ok {
+			st = w.apply(event{acks: true}, s.Arrow, st)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			st = w.expr(l, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		st = w.expr(s.X, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.expr(r, st)
+		}
+		st.dead = true
+	case *ast.BranchStmt:
+		st.dead = true
+	case *ast.LabeledStmt:
+		st = w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		st = w.stmt(s.Init, st)
+		st = w.expr(s.Cond, st)
+		then := w.stmt(s.Body, st)
+		alt := st
+		if s.Else != nil {
+			alt = w.stmt(s.Else, st)
+		}
+		st = merge(then, alt)
+	case *ast.SwitchStmt:
+		st = w.stmt(s.Init, st)
+		st = w.expr(s.Tag, st)
+		st = w.branches(s.Body, nil, st)
+	case *ast.TypeSwitchStmt:
+		st = w.stmt(s.Init, st)
+		st = w.branches(s.Body, nil, st)
+	case *ast.SelectStmt:
+		st = w.branches(s.Body, func(c ast.Stmt) []ast.Stmt {
+			if comm := c.(*ast.CommClause).Comm; comm != nil {
+				return []ast.Stmt{comm}
+			}
+			return nil
+		}, st)
+	case *ast.ForStmt:
+		// A loop iteration is one round: ack state does not flow along the
+		// back edge (an iteration's ack before the next iteration's append
+		// is two correct rounds), but it does flow out of the loop.
+		st = w.stmt(s.Init, st)
+		st = w.expr(s.Cond, st)
+		body := w.stmt(s.Body, st)
+		body = w.stmt(s.Post, body)
+		st = merge(st, body)
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st)
+		st = merge(st, w.stmt(s.Body, st))
+	case *ast.GoStmt:
+		// The spawned goroutine is unordered with this path; its own body is
+		// checked independently (a literal here, or its declaration).
+		for _, a := range s.Call.Args {
+			st = w.expr(a, st)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmt(lit.Body, wstate{})
+		}
+	case *ast.DeferStmt:
+		// Arguments evaluate now; the call runs at return, past every
+		// statement, so its events are not part of this path.
+		for _, a := range s.Call.Args {
+			st = w.expr(a, st)
+		}
+	}
+	return st
+}
+
+// branches walks a switch/select body: each clause starts from the entry
+// state and the results merge, together with the fall-through (no case
+// taken) state.
+func (w *walker) branches(body *ast.BlockStmt, pre func(ast.Stmt) []ast.Stmt, st wstate) wstate {
+	out := st
+	for _, c := range body.List {
+		cs := st
+		if pre != nil {
+			for _, p := range pre(c) {
+				cs = w.stmt(p, cs)
+			}
+		}
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				cs = w.expr(e, cs)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			list = c.Body
+		}
+		for _, sub := range list {
+			cs = w.stmt(sub, cs)
+		}
+		out = merge(out, cs)
+	}
+	return out
+}

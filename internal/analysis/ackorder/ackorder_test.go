@@ -1,0 +1,12 @@
+package ackorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ackorder"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAckOrder(t *testing.T) {
+	analysistest.Run(t, "../testdata", ackorder.Analyzer, "ackorders")
+}

@@ -5,10 +5,21 @@
 // standard library so the module stays dependency-free.
 //
 // The framework deliberately supports only what the cvlint analyzers need:
-// no facts, no analyzer-to-analyzer requirements, no per-analyzer flags.
-// Two drivers exist: internal/analysis/unitchecker speaks the JSON protocol
-// of `go vet -vettool=...`, and internal/analysis/analysistest type-checks
-// fixture packages under testdata/src for the analyzers' own tests.
+// no analyzer-to-analyzer requirements, no per-analyzer flags. It is however
+// modestly interprocedural: a package-local call graph (callgraph.go) lets an
+// analyzer follow static calls within the package under analysis, and
+// function-summary facts (facts.go) carry what an analyzer learned about a
+// package's declarations to the analyses of its importers, through the vetx
+// files `go vet` threads along the build graph. Two drivers exist:
+// internal/analysis/unitchecker speaks the JSON protocol of `go vet
+// -vettool=...`, and internal/analysis/analysistest type-checks fixture
+// packages under testdata/src for the analyzers' own tests.
+//
+// Entry points of the concurrency contract are annotated in the source with
+// the //cv:owner directive (grammar documented at OwnerDirective in
+// callgraph.go): `//cv:owner worker` marks the kernel-owning write-worker
+// loop and the boot path, `//cv:owner any` marks code that may run on any
+// goroutine and must therefore stay read-only toward the primary kernel.
 //
 // See DESIGN.md, section "Static contracts", for the contracts each shipped
 // analyzer enforces and why the type system cannot.
@@ -54,7 +65,13 @@ type Pass struct {
 	// means "unknown" and is treated as not-standard.
 	IsStdPkg func(path string) bool
 
-	report func(Diagnostic)
+	// ImportedFacts holds, per imported package path, the facts exported
+	// when that package was analyzed. Analyzers read it through ImportFact;
+	// a nil map simply yields no facts.
+	ImportedFacts map[string]PackageFacts
+
+	report   func(Diagnostic)
+	exported PackageFacts
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -62,6 +79,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string // name of the reporting analyzer
+	// Suppressed marks a finding covered by a justified //lint:ignore
+	// directive. Suppressed findings do not fail a vet run but are retained
+	// so machine consumers (cvlint -json) can surface them.
+	Suppressed bool
 }
 
 // Report emits a diagnostic.
@@ -87,22 +108,44 @@ func (p *Pass) Stdlib(path string) bool {
 // (no justification) are themselves returned as diagnostics, so a vet run
 // cannot go quiet on the back of an unexplained ignore.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, isStd func(string) bool, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithFacts(fset, files, pkg, info, isStd, nil, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var live []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			live = append(live, d)
+		}
+	}
+	return live, nil
+}
+
+// RunWithFacts is Run for fact-aware drivers: imported carries the facts of
+// the package's dependencies (nil is fine), and the returned PackageFacts
+// collects everything the analyzers exported for this package. Unlike Run,
+// suppressed diagnostics are returned too, marked with Suppressed, so the
+// caller decides whether to drop or surface them.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, isStd func(string) bool, imported map[string]PackageFacts, analyzers []*Analyzer) ([]Diagnostic, PackageFacts, error) {
 	var diags []Diagnostic
+	exported := PackageFacts{}
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			IsStdPkg:  isStd,
-			report:    func(d Diagnostic) { diags = append(diags, d) },
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           pkg,
+			TypesInfo:     info,
+			IsStdPkg:      isStd,
+			ImportedFacts: imported,
+			report:        func(d Diagnostic) { diags = append(diags, d) },
+			exported:      exported,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
 		}
 	}
 	diags = applySuppressions(fset, files, diags)
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return diags, exported, nil
 }

@@ -1,0 +1,265 @@
+// Package ctxleak finds goroutines that cannot be shut down.
+//
+// The service spawns long-lived goroutines — the worker loop, the follower
+// tail loop, long-poll waiters — and every one of them must observe a
+// shutdown signal: a context's Done/Err, or a receive from a quit/done/stop
+// channel. A goroutine whose unbounded loop observes neither keeps running
+// after Close, holding its captures (checkers, kernels, sockets) alive —
+// the leak is invisible until a test binary hangs or a process's goroutine
+// count climbs.
+//
+// The analyzer inspects every `go` statement. When the spawned body — a
+// function literal, a same-package declaration, or an imported function with
+// a fact — contains an unbounded loop (`for` with no condition) that
+// observes no exit signal, the statement is reported. A loop observes an
+// exit signal when its body (function literals excluded: they run elsewhere)
+// contains
+//
+//   - a Done() or Err() call on a context.Context value,
+//   - a receive from a channel whose name suggests lifecycle control
+//     (quit, done, stop, close, shutdown, or a ctx-named source), or
+//   - a call to a function that itself observes a signal, resolved through
+//     the package-local call graph or the vet fact protocol.
+//
+// Range loops are exempt: ranging over a channel ends when the sender closes
+// it, and other range forms are bounded by their operand. Conditional for
+// loops are bounded by their condition.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc: "checks that spawned goroutines with unbounded loops observe a shutdown signal " +
+		"(ctx.Done/ctx.Err or a quit/done/stop channel) and do not leak past Close",
+	Run: run,
+}
+
+// Fact summarizes a function for spawn-site checks in other packages:
+// Signals — its body observes an exit signal; Loops — it contains an
+// unbounded loop that observes none (spawning it leaks).
+type Fact struct {
+	Signals bool `json:"signals,omitempty"`
+	Loops   bool `json:"loops,omitempty"`
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+	info := pass.TypesInfo
+
+	// Signals, to a fixed point over the call graph.
+	signals := make(map[*analysis.FuncNode]bool, len(g.Funcs))
+	for _, n := range g.Funcs {
+		signals[n] = hasDirectSignal(info, n.Decl.Body, false)
+	}
+	calleeFact := func(fn *types.Func) Fact {
+		if local, ok := g.ByObj[fn]; ok {
+			return Fact{Signals: signals[local]}
+		}
+		var imported Fact
+		pass.ImportObjectFact(fn, &imported)
+		return imported
+	}
+	for changed, rounds := true, 0; changed && rounds <= len(g.Funcs)+1; rounds++ {
+		changed = false
+		for _, n := range g.Funcs {
+			if signals[n] {
+				continue
+			}
+			for _, cs := range n.Calls {
+				if calleeFact(cs.Callee).Signals {
+					signals[n], changed = true, true
+					break
+				}
+			}
+		}
+	}
+
+	// An unbounded loop is detached when neither a direct signal nor a call
+	// to a signal-observing function appears inside it.
+	loopLeaks := func(body ast.Node) bool {
+		leaks := false
+		inspectSkippingFuncLits(body, func(node ast.Node) {
+			if leaks {
+				return
+			}
+			f, ok := node.(*ast.ForStmt)
+			if !ok || f.Cond != nil {
+				return
+			}
+			ok = false
+			inspectSkippingFuncLits(f.Body, func(inner ast.Node) {
+				if ok {
+					return
+				}
+				if isSignal(info, inner) {
+					ok = true
+					return
+				}
+				if call, isCall := inner.(*ast.CallExpr); isCall {
+					if callee := analysis.StaticCallee(info, call); callee != nil && calleeFact(callee).Signals {
+						ok = true
+					}
+				}
+			})
+			if !ok {
+				leaks = true
+			}
+		})
+		return leaks
+	}
+
+	loops := make(map[*analysis.FuncNode]bool, len(g.Funcs))
+	for _, n := range g.Funcs {
+		loops[n] = loopLeaks(n.Decl.Body)
+	}
+
+	// Export summaries for spawn sites in importing packages.
+	for _, n := range g.Funcs {
+		if signals[n] || loops[n] {
+			f := &Fact{Signals: signals[n], Loops: loops[n]}
+			if err := pass.ExportFact(analysis.FuncKey(n.Obj), f); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Check every spawn site.
+	const remedy = "it cannot be shut down and leaks when the server stops " +
+		"(select on ctx.Done()/a quit channel inside the loop)"
+	for _, n := range g.Funcs {
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			gs, ok := node.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, isLit := analysis.Unparen(gs.Call.Fun).(*ast.FuncLit); isLit {
+				if loopLeaks(lit.Body) {
+					pass.Reportf(gs.Pos(), "goroutine runs an unbounded loop with no shutdown signal; %s", remedy)
+				}
+				return true
+			}
+			callee := analysis.StaticCallee(info, gs.Call)
+			if callee == nil {
+				return true
+			}
+			leaky := false
+			if local, isLocal := g.ByObj[callee]; isLocal {
+				leaky = loops[local]
+			} else {
+				leaky = calleeFact(callee).Loops
+			}
+			if leaky {
+				pass.Reportf(gs.Pos(), "goroutine %s runs an unbounded loop with no shutdown signal; %s",
+					analysis.FuncKey(callee), remedy)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasDirectSignal reports whether the subtree observes an exit signal
+// itself. Function literals are skipped unless includeLits is set: their
+// bodies run on some other goroutine's schedule.
+func hasDirectSignal(info *types.Info, body ast.Node, includeLits bool) bool {
+	found := false
+	visit := func(node ast.Node) {
+		if !found && isSignal(info, node) {
+			found = true
+		}
+	}
+	if includeLits {
+		ast.Inspect(body, func(n ast.Node) bool { visit(n); return true })
+	} else {
+		inspectSkippingFuncLits(body, visit)
+	}
+	return found
+}
+
+// isSignal reports whether the node is one shutdown-signal observation.
+func isSignal(info *types.Info, node ast.Node) bool {
+	switch node := node.(type) {
+	case *ast.CallExpr:
+		// ctx.Done() / ctx.Err() on a context.Context value.
+		sel, ok := analysis.Unparen(node.Fun).(*ast.SelectorExpr)
+		if !ok || len(node.Args) != 0 {
+			return false
+		}
+		if sel.Sel.Name != "Done" && sel.Sel.Name != "Err" {
+			return false
+		}
+		tv, ok := info.Types[sel.X]
+		return ok && isContext(tv.Type)
+	case *ast.UnaryExpr:
+		// Receive from a lifecycle-named channel.
+		if node.Op != token.ARROW {
+			return false
+		}
+		return lifecycleNamed(node.X)
+	case *ast.RangeStmt:
+		// Ranging over a channel ends when the sender closes it.
+		tv, ok := info.Types[node.X]
+		if !ok {
+			return false
+		}
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// lifecycleNamed reports whether the receive operand's name suggests a
+// shutdown channel (quit, done, stop, close, shutdown) or derives from a
+// context (ctx.Done() handled as a call; timer/deadline channels are not
+// lifecycle signals).
+func lifecycleNamed(e ast.Expr) bool {
+	var name string
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	name = strings.ToLower(name)
+	for _, hint := range []string{"quit", "done", "stop", "close", "shutdown"} {
+		if strings.Contains(name, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks the subtree in source order, not descending
+// into function literals.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, isLit := node.(*ast.FuncLit); isLit {
+			return false
+		}
+		if node != nil {
+			visit(node)
+		}
+		return true
+	})
+}

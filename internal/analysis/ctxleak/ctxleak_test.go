@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxleak"
+)
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctxleak.Analyzer, "ctxleaks")
+}

@@ -1,0 +1,125 @@
+package analysis
+
+// Function-summary facts.
+//
+// An analyzer may attach a serializable fact to a declaration of the package
+// it is analyzing (keyed by FuncKey, or any other stable string) and read the
+// facts that the same analyzer exported when the packages this one imports
+// were analyzed. Facts are how an analysis crosses function and package
+// boundaries without whole-program loading: the unitchecker driver stores
+// each package's facts in the vetx file that `go vet` already threads through
+// the build graph (Config.VetxOutput / Config.PackageVetx), so a dependency's
+// summaries are available — and cached — by the time its importers are
+// checked.
+//
+// Facts are namespaced per analyzer: ExportFact writes under the calling
+// analyzer's name, ImportFact reads only that namespace. A fact value must
+// round-trip through encoding/json; the zero-length file written by older
+// cvlint binaries decodes as "no facts", keeping vetx files forward- and
+// backward-compatible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+)
+
+// PackageFacts holds every fact exported for one package:
+// analyzer name -> declaration key -> encoded fact.
+type PackageFacts map[string]map[string]json.RawMessage
+
+// DecodeFacts parses the contents of a vetx facts file. Empty input (the
+// format written before facts existed) yields an empty, non-nil map.
+func DecodeFacts(data []byte) (PackageFacts, error) {
+	pf := PackageFacts{}
+	if len(data) == 0 {
+		return pf, nil
+	}
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("decoding facts: %v", err)
+	}
+	return pf, nil
+}
+
+// EncodeFacts serializes facts for a vetx file.
+func EncodeFacts(pf PackageFacts) ([]byte, error) {
+	if len(pf) == 0 {
+		return []byte{}, nil
+	}
+	return json.Marshal(pf)
+}
+
+// ExportFact records a fact for a declaration of the current package under
+// the calling analyzer's namespace. key is normally FuncKey(fn); any stable
+// string works. The fact must marshal to JSON.
+func (p *Pass) ExportFact(key string, fact interface{}) error {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("analyzer %s: encoding fact %q: %v", p.Analyzer.Name, key, err)
+	}
+	m := p.exported[p.Analyzer.Name]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		p.exported[p.Analyzer.Name] = m
+	}
+	m[key] = data
+	return nil
+}
+
+// ImportFact looks up the calling analyzer's fact for a declaration of an
+// imported package and decodes it into out. It reports whether a fact was
+// found.
+func (p *Pass) ImportFact(pkgPath, key string, out interface{}) bool {
+	pf, ok := p.ImportedFacts[pkgPath]
+	if !ok {
+		return false
+	}
+	raw, ok := pf[p.Analyzer.Name][key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// ImportObjectFact resolves fn (a function declared in another package) to
+// its fact under the calling analyzer's namespace. Functions of the package
+// being analyzed have no imported facts; use the in-package summaries the
+// analyzer computed itself.
+func (p *Pass) ImportObjectFact(fn *types.Func, out interface{}) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == p.Pkg {
+		return false
+	}
+	return p.ImportFact(fn.Pkg().Path(), FuncKey(fn), out)
+}
+
+// EachImportedFact visits every imported fact in the calling analyzer's
+// namespace, across all imported packages. Used by analyzers that aggregate
+// package-level facts (lockorder's acquisition edges) rather than looking up
+// one declaration.
+func (p *Pass) EachImportedFact(visit func(pkgPath, key string, raw json.RawMessage)) {
+	for pkgPath, pf := range p.ImportedFacts {
+		for key, raw := range pf[p.Analyzer.Name] {
+			visit(pkgPath, key, raw)
+		}
+	}
+}
+
+// FuncKey returns the stable fact key for a function or method: "F" for a
+// package-level function, "(T).M" or "(*T).M" for a method. The package path
+// is carried by the fact file itself, so keys stay short.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+		star = "*"
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return "(" + star + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, as emitted by
+// `cvlint -json`: one JSON object per line, so CI can annotate pull requests
+// without parsing vet's human-oriented format. Suppressed findings are
+// included (suppressed=true) — an auditor can see what the directives hide.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON encodes diagnostics one per line in position order (the order
+// Run/RunWithFacts already established).
+func WriteJSON(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		jd := JSONDiagnostic{
+			File:       p.Filename,
+			Line:       p.Line,
+			Col:        p.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

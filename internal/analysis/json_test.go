@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSON checks the -json encoder: one object per line, position
+// fields resolved through the FileSet, suppressed findings retained with the
+// flag set.
+func TestWriteJSON(t *testing.T) {
+	fset := token.NewFileSet()
+	const src = "package p\n\nvar x = 1\nvar y = 2\n"
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags := []Diagnostic{
+		{Pos: f.Decls[0].Pos(), Analyzer: "testcheck", Message: "first finding"},
+		{Pos: f.Decls[1].Pos(), Analyzer: "other", Message: "second finding", Suppressed: true},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fset, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+
+	var got []JSONDiagnostic
+	for i, line := range lines {
+		var jd JSONDiagnostic
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		got = append(got, jd)
+	}
+	want := []JSONDiagnostic{
+		{File: "p.go", Line: 3, Col: 1, Analyzer: "testcheck", Message: "first finding", Suppressed: false},
+		{File: "p.go", Line: 4, Col: 1, Analyzer: "other", Message: "second finding", Suppressed: true},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteJSONEmpty: no diagnostics encodes to no output, not "null".
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, token.NewFileSet(), nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty diagnostics produced output %q", buf.String())
+	}
+}

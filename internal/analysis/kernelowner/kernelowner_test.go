@@ -1,0 +1,12 @@
+package kernelowner_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/kernelowner"
+)
+
+func TestKernelOwner(t *testing.T) {
+	analysistest.Run(t, "../testdata", kernelowner.Analyzer, "kernelowners")
+}

@@ -1,0 +1,350 @@
+// Package lockorder detects cycles in the global mutex-acquisition order.
+//
+// The repository's locks are individually simple — guard a map, a channel
+// swap, a manifest — but deadlock is a property of their composition: if one
+// code path acquires A then B while another acquires B then A, the paths can
+// block each other forever, and nothing in either function looks wrong in
+// review. The established prevention is a global acquisition order; this
+// analyzer infers the observed order and flags any pair of acquisitions that
+// closes a cycle.
+//
+// A lock is identified by its declaration site — "pkg.Type.field" for a
+// mutex field, "pkg.var" for a package-level mutex; function-local mutexes
+// cannot participate in cross-function cycles and are ignored. Within each
+// function the analyzer tracks the held set in syntactic order: Lock/RLock
+// pushes, Unlock/RUnlock releases, a deferred unlock keeps the lock held to
+// the end of the function (the dominant lock-then-defer idiom). Acquiring B
+// with A held records the edge A → B; calling a function whose summary says
+// it acquires B records the same edge. Summaries (the lock IDs a function
+// may acquire, transitively) propagate through the package-local call graph
+// and across packages via the vet fact protocol; each package also exports
+// its merged edge set under the "#edges" key, so importers test their local
+// edges against the order observed everywhere below them.
+//
+// Function literals run on their own goroutine or their own call chain
+// (pool.Do callbacks, go statements), so their bodies are scanned with an
+// empty held set; their acquisitions still count toward the enclosing
+// function's summary, since calling it is what triggers them.
+package lockorder
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "checks mutex acquisitions against the globally observed acquisition order " +
+		"and flags pairs that close a cycle (a latent deadlock)",
+	Run: run,
+}
+
+// Fact is a function's lock summary: the lock IDs it may acquire, directly
+// or transitively.
+type Fact struct {
+	Acquires []string `json:"acquires,omitempty"`
+}
+
+// edgesKey is the package-level fact key carrying the acquisition edges.
+// FuncKey never produces a "#" prefix, so the namespace cannot collide.
+const edgesKey = "#edges"
+
+// EdgesFact is the package-level edge set: each element is one observed
+// "held → acquired" pair.
+type EdgesFact struct {
+	Edges [][2]string `json:"edges,omitempty"`
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+	info := pass.TypesInfo
+
+	// Pass 1: direct acquisitions, then the transitive closure over calls.
+	acquires := make(map[*analysis.FuncNode]map[string]bool, len(g.Funcs))
+	for _, n := range g.Funcs {
+		set := map[string]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				if id, op := lockCall(pass, info, call); op == opAcquire && id != "" {
+					set[id] = true
+				}
+			}
+			return true
+		})
+		acquires[n] = set
+	}
+	calleeAcquires := func(fn *types.Func) []string {
+		if local, ok := g.ByObj[fn]; ok {
+			return keys(acquires[local])
+		}
+		var imported Fact
+		if pass.ImportObjectFact(fn, &imported) {
+			return imported.Acquires
+		}
+		return nil
+	}
+	for changed, rounds := true, 0; changed && rounds <= len(g.Funcs)+1; rounds++ {
+		changed = false
+		for _, n := range g.Funcs {
+			set := acquires[n]
+			for _, cs := range n.Calls {
+				for _, id := range calleeAcquires(cs.Callee) {
+					if !set[id] {
+						set[id], changed = true, true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: held-set walk collecting edges.
+	ec := &edgeCollector{
+		pass: pass, info: info,
+		calleeAcquires: calleeAcquires,
+		edges:          map[[2]string]token.Pos{},
+	}
+	for _, n := range g.Funcs {
+		ec.scan(n.Decl.Body, nil)
+	}
+
+	// Merge the edges observed in imported packages; re-exporting the union
+	// keeps the order visible transitively.
+	graph := map[string][]string{}
+	all := map[[2]string]bool{}
+	addEdge := func(from, to string) {
+		if !all[[2]string{from, to}] {
+			all[[2]string{from, to}] = true
+			graph[from] = append(graph[from], to)
+		}
+	}
+	for e := range ec.edges {
+		addEdge(e[0], e[1])
+	}
+	pass.EachImportedFact(func(_, key string, raw json.RawMessage) {
+		if key != edgesKey {
+			return
+		}
+		var ef EdgesFact
+		if json.Unmarshal(raw, &ef) == nil {
+			for _, e := range ef.Edges {
+				addEdge(e[0], e[1])
+			}
+		}
+	})
+
+	// Report each local edge whose reverse direction is already reachable.
+	local := make([][2]string, 0, len(ec.edges))
+	for e := range ec.edges {
+		local = append(local, e)
+	}
+	sort.Slice(local, func(i, j int) bool { return ec.edges[local[i]] < ec.edges[local[j]] })
+	for _, e := range local {
+		from, to := e[0], e[1]
+		if path := findPath(graph, to, from); path != nil {
+			pass.Reportf(ec.edges[e],
+				"acquiring %s while holding %s creates a cycle in the global mutex order (%s)",
+				to, from, strings.Join(append(path, to), " → "))
+		}
+	}
+
+	// Export facts: per-function summaries and the merged edge set.
+	for _, n := range g.Funcs {
+		if set := acquires[n]; len(set) > 0 {
+			if err := pass.ExportFact(analysis.FuncKey(n.Obj), &Fact{Acquires: keys(set)}); err != nil {
+				return err
+			}
+		}
+	}
+	if len(all) > 0 {
+		ef := &EdgesFact{}
+		for e := range all {
+			ef.Edges = append(ef.Edges, e)
+		}
+		sort.Slice(ef.Edges, func(i, j int) bool {
+			if ef.Edges[i][0] != ef.Edges[j][0] {
+				return ef.Edges[i][0] < ef.Edges[j][0]
+			}
+			return ef.Edges[i][1] < ef.Edges[j][1]
+		})
+		if err := pass.ExportFact(edgesKey, ef); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeCollector walks bodies in syntactic order, maintaining the held list.
+type edgeCollector struct {
+	pass           *analysis.Pass
+	info           *types.Info
+	calleeAcquires func(*types.Func) []string
+	edges          map[[2]string]token.Pos // first observation wins
+}
+
+// scan walks one body with the given held prefix (nil for an entry body).
+func (ec *edgeCollector) scan(body ast.Node, held []string) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.DeferStmt:
+			// Deferred unlocks run at return: the lock stays held for the
+			// rest of the function. Other deferred work is out of path order.
+			return false
+		case *ast.FuncLit:
+			ec.scan(x.Body, nil)
+			return false
+		case *ast.GoStmt:
+			// The goroutine does not inherit this path's held locks.
+			ec.scan(x.Call, nil)
+			return false
+		case *ast.CallExpr:
+			if id, op := lockCall(ec.pass, ec.info, x); id != "" {
+				switch op {
+				case opAcquire:
+					for _, h := range held {
+						if h != id {
+							ec.edge(h, id, x.Pos())
+						}
+					}
+					held = append(held, id)
+				case opRelease:
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == id {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if callee := analysis.StaticCallee(ec.info, x); callee != nil {
+				for _, a := range ec.calleeAcquires(callee) {
+					for _, h := range held {
+						if h != a {
+							ec.edge(h, a, x.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (ec *edgeCollector) edge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := ec.edges[key]; !ok {
+		ec.edges[key] = pos
+	}
+}
+
+const (
+	opNone = iota
+	opAcquire
+	opRelease
+)
+
+// lockCall classifies a call as a mutex acquire/release and resolves the
+// lock's identity; id is "" for local or unresolvable mutexes.
+func lockCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) (id string, op int) {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return "", opNone
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return "", opNone
+	}
+	return lockID(info, sel.X), op
+}
+
+// isSyncMutex reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockID names a mutex by its declaration site: "pkg.Type.field" for a
+// field, "pkg.var" for a package-level mutex, "" otherwise.
+func lockID(info *types.Info, e ast.Expr) string {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		t := info.Types[e.X].Type
+		if t == nil {
+			return ""
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// findPath returns the node sequence from from to to (inclusive), or nil.
+func findPath(graph map[string][]string, from, to string) []string {
+	parent := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []string
+			for n := to; ; n = parent[n] {
+				path = append([]string{n}, path...)
+				if n == from {
+					return path
+				}
+			}
+		}
+		for _, next := range graph[cur] {
+			if _, seen := parent[next]; !seen {
+				parent[next] = cur
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

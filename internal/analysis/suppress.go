@@ -37,13 +37,10 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
-				names, just := rest, ""
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					names, just = rest[:i], strings.TrimSpace(rest[i+1:])
-				}
+				names, just := splitDirective(rest)
 				p := fset.Position(c.Pos())
 				ds = append(ds, &directive{
-					analyzers: strings.Split(names, ","),
+					analyzers: names,
 					just:      just,
 					pos:       c.Pos(),
 					line:      p.Line,
@@ -54,6 +51,35 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
 		}
 	}
 	return ds
+}
+
+// splitDirective separates the analyzer-name list from the justification.
+// The list is comma-separated and may contain spaces after the commas
+// ("a,b why" and "a, b why" both name two analyzers): name tokens keep being
+// consumed as long as the accumulated list ends with a comma, and everything
+// after the last name token is the justification.
+func splitDirective(rest string) (names []string, just string) {
+	s := rest
+	var list strings.Builder
+	for {
+		i := strings.IndexAny(s, " \t")
+		if i < 0 {
+			list.WriteString(s)
+			s = ""
+			break
+		}
+		list.WriteString(s[:i])
+		s = strings.TrimLeft(s[i:], " \t")
+		if !strings.HasSuffix(list.String(), ",") {
+			break
+		}
+	}
+	for _, n := range strings.Split(list.String(), ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.TrimSpace(s)
 }
 
 func (d *directive) covers(name string, file string, line int) bool {
@@ -68,19 +94,18 @@ func (d *directive) covers(name string, file string, line int) bool {
 	return false
 }
 
-// applySuppressions drops diagnostics covered by a well-formed directive and
+// applySuppressions marks diagnostics covered by a well-formed directive as
+// Suppressed (callers drop or surface them as their output mode requires) and
 // appends a diagnostic for each malformed (justification-free) directive.
 func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
 	ds := parseDirectives(fset, files)
 	if len(ds) == 0 {
 		return diags
 	}
-	var kept []Diagnostic
-	for _, diag := range diags {
-		p := fset.Position(diag.Pos)
-		suppressed := false
+	for i := range diags {
+		p := fset.Position(diags[i].Pos)
 		for _, d := range ds {
-			if !d.covers(diag.Analyzer, p.Filename, p.Line) {
+			if !d.covers(diags[i].Analyzer, p.Filename, p.Line) {
 				continue
 			}
 			if d.just == "" {
@@ -90,21 +115,18 @@ func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnosti
 				continue
 			}
 			d.used = true
-			suppressed = true
+			diags[i].Suppressed = true
 			break
-		}
-		if !suppressed {
-			kept = append(kept, diag)
 		}
 	}
 	for _, d := range ds {
 		if d.just == "" {
-			kept = append(kept, Diagnostic{
+			diags = append(diags, Diagnostic{
 				Pos:      d.pos,
 				Analyzer: "lintdirective",
 				Message:  "lint:ignore directive needs a justification: //lint:ignore <analyzer> <why this exception is sound>",
 			})
 		}
 	}
-	return kept
+	return diags
 }

@@ -86,3 +86,84 @@ func TestSuppressions(t *testing.T) {
 		}
 	}
 }
+
+// secondAnalyzer duplicates testAnalyzer under another name so comma-list
+// directives have two real analyzers to cover.
+var secondAnalyzer = &Analyzer{
+	Name: "othercheck",
+	Doc:  "reports every integer literal, again",
+	Run:  testAnalyzer.Run,
+}
+
+// TestSuppressionCommaList is the regression test for the directive parser
+// cutting the analyzer list at the first space: "a, b why" must suppress
+// both a and b, with "why" as the justification — not just a.
+func TestSuppressionCommaList(t *testing.T) {
+	const src = `package p
+
+func f() {
+	//lint:ignore testcheck,othercheck compact comma list covers both
+	_ = 1
+	//lint:ignore testcheck, othercheck spaced comma list covers both too
+	_ = 2
+	//lint:ignore testcheck only the first analyzer is named
+	_ = 3
+	_ = 4
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, err := Run(fset, []*ast.File{f}, nil, nil, nil, []*Analyzer{testAnalyzer, secondAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	type got struct {
+		line     int
+		analyzer string
+	}
+	var gots []got
+	for _, d := range diags {
+		gots = append(gots, got{fset.Position(d.Pos).Line, d.Analyzer})
+	}
+	// Literals 1 and 2 are fully suppressed for both analyzers; literal 3
+	// keeps its othercheck finding; literal 4 keeps both.
+	want := []got{
+		{9, "othercheck"},
+		{10, "testcheck"},
+		{10, "othercheck"},
+	}
+	if len(gots) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v", len(gots), gots, len(want), want)
+	}
+	for i := range want {
+		if gots[i] != want[i] {
+			t.Errorf("diagnostic %d: got %+v, want %+v", i, gots[i], want[i])
+		}
+	}
+}
+
+// TestRunWithFactsKeepsSuppressed: the fact-aware entry point retains
+// suppressed findings, marked, for -json consumers.
+func TestRunWithFactsKeepsSuppressed(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //lint:ignore testcheck kept but marked
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	diags, _, err := RunWithFacts(fset, []*ast.File{f}, nil, nil, nil, nil, []*Analyzer{testAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 1 || !diags[0].Suppressed {
+		t.Fatalf("want one suppressed diagnostic, got %+v", diags)
+	}
+}

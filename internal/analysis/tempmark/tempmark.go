@@ -21,6 +21,13 @@
 // field, passed to a non-kernel call) is flagged unless an "ownership:"
 // comment documents the transfer.
 //
+// The release need not be syntactically in-function: a helper that passes an
+// integer parameter to TempRelease on every one of its own paths is a
+// releaser of that parameter, and calling it (directly or deferred) with the
+// mark discharges the obligation. Releaser summaries are computed to a fixed
+// point over the package-local call graph and exported as facts, so the
+// helper may live in another package.
+//
 // Functions containing goto are skipped: the structural walk cannot bound
 // their control flow, and the repository does not use goto on kernel paths.
 package tempmark
@@ -41,7 +48,24 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+// Fact summarizes a function for its callers: ReleaseParams lists the
+// receiver-unified indices (receiver first for methods) of the integer
+// parameters the function passes to TempRelease on every path out of its
+// body, so a call forwarding a mark there counts as releasing it.
+type Fact struct {
+	ReleaseParams []int `json:"release_params,omitempty"`
+}
+
 func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+	ri := computeReleasers(pass, g)
+	for _, n := range g.Funcs {
+		if idxs := ri.local[n.Obj]; len(idxs) > 0 {
+			if err := pass.ExportFact(analysis.FuncKey(n.Obj), &Fact{ReleaseParams: idxs}); err != nil {
+				return err
+			}
+		}
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -54,7 +78,7 @@ func run(pass *analysis.Pass) error {
 			if body == nil {
 				return true
 			}
-			fn := &funcCheck{pass: pass, body: body, file: f}
+			fn := &funcCheck{pass: pass, body: body, file: f, rel: ri}
 			fn.check()
 			return true // also descend into nested function literals
 		})
@@ -62,10 +86,87 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// releaseIndex answers which parameters a callee releases, from the local
+// fixpoint for same-package functions and from facts for imported ones.
+type releaseIndex struct {
+	pass  *analysis.Pass
+	local map[*types.Func][]int
+}
+
+func (ri *releaseIndex) releaseParams(fn *types.Func) []int {
+	if idxs, ok := ri.local[fn]; ok {
+		return idxs
+	}
+	var f Fact
+	if ri.pass.ImportObjectFact(fn, &f) {
+		return f.ReleaseParams
+	}
+	return nil
+}
+
+// releasesArg reports whether the call forwards mark into a parameter the
+// callee releases on all paths.
+func (ri *releaseIndex) releasesArg(call *ast.CallExpr, mark types.Object) bool {
+	info := ri.pass.TypesInfo
+	callee := analysis.StaticCallee(info, call)
+	if callee == nil {
+		return false
+	}
+	idxs := ri.releaseParams(callee)
+	if len(idxs) == 0 {
+		return false
+	}
+	args := analysis.CallArgs(info, call, callee)
+	for _, i := range idxs {
+		if i < len(args) {
+			if id, ok := analysis.Unparen(args[i]).(*ast.Ident); ok && info.ObjectOf(id) == mark {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeReleasers classifies each declared function's integer parameters as
+// all-paths-released or not, iterating because releases may flow through
+// other local releasers. The classification only ever gains releases, so the
+// fixpoint is monotone.
+func computeReleasers(pass *analysis.Pass, g *analysis.CallGraph) *releaseIndex {
+	ri := &releaseIndex{pass: pass, local: map[*types.Func][]int{}}
+	for changed, rounds := true, 0; changed && rounds <= len(g.Funcs)+1; rounds++ {
+		changed = false
+		for _, n := range g.Funcs {
+			if hasGoto(n.Decl.Body) {
+				continue
+			}
+			var idxs []int
+			for i, p := range analysis.CalleeParams(n.Obj) {
+				if b, ok := p.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+					continue
+				}
+				fc := &funcCheck{pass: pass, body: n.Decl.Body, rel: ri}
+				w := &walker{fc: fc, mark: p, quiet: true}
+				st, terminated := w.stmtList(n.Decl.Body.List, state{started: true})
+				if !terminated {
+					w.exit(st, n.Decl.Body.Rbrace)
+				}
+				if w.leaks == 0 && w.releases > 0 {
+					idxs = append(idxs, i)
+				}
+			}
+			if len(idxs) != len(ri.local[n.Obj]) {
+				ri.local[n.Obj], changed = idxs, true
+			}
+		}
+	}
+	return ri
+}
+
 type funcCheck struct {
 	pass *analysis.Pass
 	body *ast.BlockStmt
 	file *ast.File
+	rel  *releaseIndex
 }
 
 func (fc *funcCheck) check() {
@@ -116,6 +217,16 @@ func (fc *funcCheck) isTempMarkCall(e ast.Expr) bool {
 	return ok && name == "TempMark"
 }
 
+// isRelease reports whether e releases mark: a direct TempRelease(mark) or a
+// call forwarding mark into a parameter the callee releases on all paths.
+func (fc *funcCheck) isRelease(e ast.Expr, mark types.Object) bool {
+	if isReleaseOf(fc.pass.TypesInfo, e, mark) {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && fc.rel != nil && fc.rel.releasesArg(call, mark)
+}
+
 // isReleaseOf reports whether e is a call k.TempRelease(mark) for this mark.
 func isReleaseOf(info *types.Info, e ast.Expr, mark types.Object) bool {
 	call, ok := e.(*ast.CallExpr)
@@ -148,6 +259,10 @@ func mergeBranch(a, b state) state {
 type walker struct {
 	fc   *funcCheck
 	mark types.Object
+	// quiet is set for the summary pass, which counts instead of reporting.
+	quiet    bool
+	leaks    int // exits reached with the mark unreleased
+	releases int // release observations (direct or through a releaser callee)
 }
 
 func (w *walker) info() *types.Info { return w.fc.pass.TypesInfo }
@@ -155,8 +270,11 @@ func (w *walker) info() *types.Info { return w.fc.pass.TypesInfo }
 // exit checks one function exit (return, panic, or fall-off-end).
 func (w *walker) exit(st state, pos token.Pos) {
 	if st.started && !st.released && !st.deferred {
-		w.fc.pass.Reportf(pos, "function exits without TempRelease(%s) for the TempMark on line %d; release on every path or use defer",
-			w.mark.Name(), w.fc.pass.Fset.Position(w.mark.Pos()).Line)
+		w.leaks++
+		if !w.quiet {
+			w.fc.pass.Reportf(pos, "function exits without TempRelease(%s) for the TempMark on line %d; release on every path or use defer",
+				w.mark.Name(), w.fc.pass.Fset.Position(w.mark.Pos()).Line)
+		}
 	}
 }
 
@@ -192,8 +310,9 @@ func (w *walker) stmt(s ast.Stmt, st state) (state, bool) {
 		return st, false
 
 	case *ast.ExprStmt:
-		if isReleaseOf(w.info(), s.X, w.mark) {
+		if w.fc.isRelease(s.X, w.mark) {
 			st.released = true
+			w.releases++
 			return st, false
 		}
 		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltinPanic(w.info(), call) {
@@ -205,21 +324,23 @@ func (w *walker) stmt(s ast.Stmt, st state) (state, bool) {
 		return st, false
 
 	case *ast.DeferStmt:
-		if isReleaseOf(w.info(), s.Call, w.mark) {
+		if w.fc.isRelease(s.Call, w.mark) {
 			st.deferred = true
+			w.releases++
 			return st, false
 		}
 		// defer func() { ...; k.TempRelease(mark); ... }()
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
 			found := false
 			ast.Inspect(lit.Body, func(n ast.Node) bool {
-				if e, ok := n.(ast.Expr); ok && isReleaseOf(w.info(), e, w.mark) {
+				if e, ok := n.(ast.Expr); ok && w.fc.isRelease(e, w.mark) {
 					found = true
 				}
 				return !found
 			})
 			if found {
 				st.deferred = true
+				w.releases++
 			}
 		}
 		return st, false

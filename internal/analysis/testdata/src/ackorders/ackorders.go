@@ -1,0 +1,151 @@
+// Package ackorders exercises the ackorder analyzer: on every path, WAL
+// appends, epoch publishes and update applies must precede the update's
+// acknowledgment, never follow it.
+package ackorders
+
+import (
+	"errors"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+var errEmpty = errors.New("empty batch")
+
+// reply is ack-shaped: an applied count plus an error field.
+type reply struct {
+	applied int
+	err     error
+}
+
+// job carries a batch and its acknowledgment channel. Not ack-shaped (no
+// error field), so queueing a job is not an acknowledgment.
+type job struct {
+	ups   []core.Update
+	reply chan reply
+}
+
+type server struct {
+	chk   *core.Checker
+	st    *store.Store
+	pool  *replica.Pool
+	epoch atomic.Uint64
+}
+
+// applyGood is the protocol done right: apply, append, advance, then ack.
+func (s *server) applyGood(j *job, epoch uint64) {
+	applied, err := s.chk.Apply(j.ups)
+	if err == nil {
+		err = s.st.AppendBatch(epoch, j.ups[:applied])
+	}
+	s.epoch.Store(epoch)
+	j.reply <- reply{applied: applied, err: err}
+}
+
+// applyLogAfterAck is the seeded regression: the WAL append slid past the
+// acknowledgment, so a crash in between loses an acked update.
+func (s *server) applyLogAfterAck(j *job, epoch uint64) {
+	applied, _ := s.chk.Apply(j.ups)
+	j.reply <- reply{applied: applied}
+	s.st.AppendBatch(epoch, j.ups[:applied]) // want `WAL append \(\*Store\)\.AppendBatch after the update was acknowledged`
+}
+
+// applyPublishAfterAck publishes the frozen version after acking: a check
+// submitted after the ack can still read the previous epoch.
+func (s *server) applyPublishAfterAck(j *job, v *replica.Version) {
+	j.reply <- reply{applied: len(j.ups)}
+	s.pool.Publish(v) // want `epoch publish \(\*Pool\)\.Publish after the update was acknowledged`
+}
+
+// applyAdvanceAfterAck stores the epoch after acking.
+func (s *server) applyAdvanceAfterAck(j *job, epoch uint64) {
+	j.reply <- reply{applied: len(j.ups)}
+	s.epoch.Store(epoch) // want `epoch publish \(atomic epoch store\) after the update was acknowledged`
+}
+
+// applyViaHelper hides the late append behind a same-package helper; the
+// call-graph summary carries it back to this path.
+func (s *server) applyViaHelper(j *job, epoch uint64) {
+	j.reply <- reply{applied: len(j.ups)}
+	s.logBatch(epoch, j.ups) // want `call to \(\*server\)\.logBatch \(appends to the WAL\) after the update was acknowledged`
+}
+
+func (s *server) logBatch(epoch uint64, ups []core.Update) {
+	s.st.AppendBatch(epoch, ups)
+}
+
+// applyBranchAck acks on the fast path only, but the append after the merge
+// still follows it on that path.
+func (s *server) applyBranchAck(j *job, epoch uint64, fast bool) {
+	if fast {
+		j.reply <- reply{applied: len(j.ups)}
+	}
+	s.st.AppendBatch(epoch, j.ups) // want `WAL append \(\*Store\)\.AppendBatch after the update was acknowledged`
+}
+
+// applyRefused: an error-only reply is a refusal, not an acknowledgment —
+// the durability work behind the early return is a different round's.
+func (s *server) applyRefused(j *job, epoch uint64) {
+	if len(j.ups) == 0 {
+		j.reply <- reply{err: errEmpty}
+		return
+	}
+	err := s.st.AppendBatch(epoch, j.ups)
+	j.reply <- reply{applied: len(j.ups), err: err}
+}
+
+// workerLoop calls a complete round per iteration: applyGood both acks and
+// does durability work, so each call is a round boundary and consecutive
+// rounds do not flag.
+func (s *server) workerLoop(jobs chan *job, epoch uint64) {
+	for j := range jobs {
+		epoch++
+		s.applyGood(j, epoch)
+	}
+}
+
+// applyRounds acks at the end of each iteration; the next iteration's apply
+// and append belong to the next round (no back-edge propagation).
+func (s *server) applyRounds(js []*job, epoch uint64) {
+	for _, j := range js {
+		epoch++
+		applied, err := s.chk.Apply(j.ups)
+		if err == nil {
+			err = s.st.AppendBatch(epoch, j.ups[:applied])
+		}
+		j.reply <- reply{applied: applied, err: err}
+	}
+}
+
+// writeOK acknowledges over HTTP with a constant 2xx.
+func (s *server) writeOK(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeStatus forwards its status parameter: only 2xx call sites ack.
+func (s *server) writeStatus(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// handleUpdate acks through the helper, then appends: flagged through the
+// helper's summary.
+func (s *server) handleUpdate(w http.ResponseWriter, epoch uint64, ups []core.Update) {
+	s.writeOK(w)
+	s.st.AppendBatch(epoch, ups) // want `WAL append \(\*Store\)\.AppendBatch after the update was acknowledged`
+}
+
+// handleErrThenLog writes an error status first: not an acknowledgment, so
+// the append that follows is fine.
+func (s *server) handleErrThenLog(w http.ResponseWriter, epoch uint64, ups []core.Update) {
+	s.writeStatus(w, http.StatusBadRequest)
+	s.st.AppendBatch(epoch, ups)
+}
+
+// handleOKThenLog forwards a constant 2xx through writeStatus, then appends.
+func (s *server) handleOKThenLog(w http.ResponseWriter, epoch uint64, ups []core.Update) {
+	s.writeStatus(w, http.StatusOK)
+	s.st.AppendBatch(epoch, ups) // want `WAL append \(\*Store\)\.AppendBatch after the update was acknowledged`
+}

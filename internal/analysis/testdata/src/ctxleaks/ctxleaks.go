@@ -1,0 +1,132 @@
+// Package ctxleaks exercises the ctxleak analyzer: goroutines whose
+// unbounded loops never observe a shutdown signal leak past Close.
+package ctxleaks
+
+import "context"
+
+type server struct {
+	quit chan struct{}
+	jobs chan int
+}
+
+// spawnGood selects on ctx.Done inside the loop.
+func spawnGood(ctx context.Context, s *server) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// spawnQuit receives from a quit-named channel.
+func (s *server) spawnQuit() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// spawnErrPoll polls ctx.Err, which also counts as observing the signal.
+func (s *server) spawnErrPoll(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			j := <-s.jobs
+			_ = j
+		}
+	}()
+}
+
+// spawnLeak drains jobs forever with no way out.
+func (s *server) spawnLeak() {
+	go func() { // want `goroutine runs an unbounded loop with no shutdown signal`
+		for {
+			j := <-s.jobs
+			_ = j
+		}
+	}()
+}
+
+// spawnRange ranges over the jobs channel: closing the channel ends it.
+func (s *server) spawnRange() {
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// spawnBounded runs a conditional loop; it terminates on its own.
+func (s *server) spawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = <-s.jobs
+		}
+	}()
+}
+
+// loopForever is a named worker with no exit signal; spawning it leaks.
+func (s *server) loopForever() {
+	for {
+		j := <-s.jobs
+		_ = j
+	}
+}
+
+func (s *server) spawnDecl() {
+	go s.loopForever() // want `goroutine \(\*server\)\.loopForever runs an unbounded loop with no shutdown signal`
+}
+
+// sleepCtx observes ctx on behalf of its callers.
+func (s *server) sleepCtx(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case j := <-s.jobs:
+		_ = j
+		return true
+	}
+}
+
+// tail's loop observes the signal only through sleepCtx: the summary makes
+// the spawn below clean.
+func (s *server) tail(ctx context.Context) {
+	for {
+		if !s.sleepCtx(ctx) {
+			return
+		}
+	}
+}
+
+func (s *server) spawnTail(ctx context.Context) {
+	go s.tail(ctx)
+}
+
+// spawnLocalDone shows the name-based rule on a locally declared channel.
+func (s *server) spawnLocalDone() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+	return done
+}

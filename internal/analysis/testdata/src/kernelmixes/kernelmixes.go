@@ -70,6 +70,47 @@ func badCrossAfterReorder(k1, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
 	return k2.Not(r) // want `Ref minted by kernel "k1" passed to method Not of kernel "k2"`
 }
 
+// mk mints on its kernel parameter; the ReturnsParam summary tags the
+// result at every call site from the corresponding argument.
+func mk(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	return k.And(f, g)
+}
+
+// consume hands its Ref parameter to its kernel parameter's methods; the
+// RefParams summary lets call sites check the pairing.
+func consume(k *bdd.Kernel, r bdd.Ref) bdd.Ref {
+	return k.Not(r)
+}
+
+// wrap forwards to consume; the pairing propagates through the wrapper.
+func wrap(k *bdd.Kernel, r bdd.Ref) bdd.Ref {
+	return consume(k, r)
+}
+
+// badHelperMint: the helper's result is minted by k1 but used on k2.
+func badHelperMint(k1, k2 *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	r := mk(k1, f, g)
+	return k2.Not(r) // want `Ref minted by kernel "k1" passed to method Not of kernel "k2"`
+}
+
+// badHelperConsume: the callee's pairing flags mismatched arguments.
+func badHelperConsume(k1, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := k1.Not(f)
+	return consume(k2, r) // want `Ref minted by kernel "k1" passed to consume of kernel "k2"`
+}
+
+// badWrappedConsume: the pairing survives one level of wrapping.
+func badWrappedConsume(k1, k2 *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	r := k1.Not(f)
+	return wrap(k2, r) // want `Ref minted by kernel "k1" passed to wrap of kernel "k2"`
+}
+
+// goodHelperRoundTrip keeps helper-minted Refs on the minting kernel.
+func goodHelperRoundTrip(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	r := mk(k, f, g)
+	return consume(k, r)
+}
+
 // goodSetOrderSameKernel: an explicit order install is a same-kernel
 // mutation; previously minted Refs remain valid on that kernel.
 func goodSetOrderSameKernel(k *bdd.Kernel, f bdd.Ref) bdd.Ref {

@@ -1,0 +1,99 @@
+// Package lockorders exercises the lockorder analyzer: acquiring mutexes in
+// an order that closes a cycle against the globally observed order is a
+// latent deadlock.
+package lockorders
+
+import "sync"
+
+// pair is locked consistently (a before b) everywhere: no cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) first() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+func (p *pair) second() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// deadlock is locked x-then-y on one path and y-then-x on another.
+type deadlock struct {
+	x sync.Mutex
+	y sync.RWMutex
+}
+
+func (d *deadlock) xThenY() {
+	d.x.Lock()
+	defer d.x.Unlock()
+	d.y.Lock() // want `acquiring lockorders\.deadlock\.y while holding lockorders\.deadlock\.x creates a cycle in the global mutex order`
+	d.y.Unlock()
+}
+
+func (d *deadlock) yThenX() {
+	d.y.RLock()
+	defer d.y.RUnlock()
+	d.x.Lock() // want `acquiring lockorders\.deadlock\.x while holding lockorders\.deadlock\.y creates a cycle in the global mutex order`
+	d.x.Unlock()
+}
+
+// svc/stor exercise the interprocedural edges: the lock is taken inside a
+// callee, and the edge comes from the callee's summary.
+type svc struct {
+	mu sync.Mutex
+}
+
+type stor struct {
+	mu sync.Mutex
+}
+
+func (st *stor) append() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+}
+
+func (s *svc) lockSelf() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+func (s *svc) holdThenCall(st *stor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.append() // want `acquiring lockorders\.stor\.mu while holding lockorders\.svc\.mu creates a cycle in the global mutex order`
+}
+
+func (s *svc) reverse(st *stor) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.lockSelf() // want `acquiring lockorders\.svc\.mu while holding lockorders\.stor\.mu creates a cycle in the global mutex order`
+}
+
+// handoff releases q before taking r: sequential acquisition is not nesting,
+// so r-then-q elsewhere closes no cycle.
+type handoff struct {
+	q sync.Mutex
+	r sync.Mutex
+}
+
+func (h *handoff) qThenR() {
+	h.q.Lock()
+	h.q.Unlock()
+	h.r.Lock()
+	h.r.Unlock()
+}
+
+func (h *handoff) rThenQ() {
+	h.r.Lock()
+	h.q.Lock()
+	h.q.Unlock()
+	h.r.Unlock()
+}

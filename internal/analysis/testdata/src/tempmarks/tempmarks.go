@@ -130,6 +130,68 @@ func goodReorderInsideMark(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
 	return k.Or(h, f)
 }
 
+// finish is an all-paths releaser of its mark parameter; the summary lets
+// callers discharge a mark by calling it.
+func finish(k *bdd.Kernel, mark int) {
+	k.TempRelease(mark)
+}
+
+// finishChain releases through another releaser; summaries compose.
+func finishChain(k *bdd.Kernel, mark int) {
+	finish(k, mark)
+}
+
+// finishMaybe releases on only one branch, so it is not a releaser and
+// calling it proves nothing.
+func finishMaybe(k *bdd.Kernel, mark int, ok bool) {
+	if ok {
+		k.TempRelease(mark)
+	}
+}
+
+// goodHelperRelease discharges the mark through the helper on every path.
+func goodHelperRelease(k *bdd.Kernel, f, g bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	h := k.TempKeep(k.And(f, g))
+	if h == bdd.Invalid {
+		finish(k, mark)
+		return bdd.Invalid
+	}
+	r := k.Or(h, f)
+	finish(k, mark)
+	return r
+}
+
+// goodDeferHelper defers the helper instead of TempRelease itself.
+func goodDeferHelper(k *bdd.Kernel, f bdd.Ref) bdd.Ref {
+	mark := k.TempMark()
+	defer finish(k, mark)
+	return k.TempKeep(k.Not(f))
+}
+
+// goodHelperChain discharges through the two-level helper.
+func goodHelperChain(k *bdd.Kernel, f bdd.Ref) {
+	mark := k.TempMark()
+	k.TempKeep(k.Not(f))
+	finishChain(k, mark)
+}
+
+// leakHelperMaybe calls the conditional helper, which is not a release.
+func leakHelperMaybe(k *bdd.Kernel, f bdd.Ref, ok bool) {
+	mark := k.TempMark()
+	k.TempKeep(k.Not(f))
+	finishMaybe(k, mark, ok)
+} // want `function exits without TempRelease\(mark\)`
+
+// leakIgnored leaks deliberately; the comma-separated directive names this
+// analyzer among others and silences the finding at the fall-off exit.
+func leakIgnored(k *bdd.Kernel, f bdd.Ref) {
+	mark := k.TempMark()
+	k.TempKeep(k.Not(f))
+	_ = mark
+	//lint:ignore tempmark,kernelmix the enclosing harness releases every mark between runs
+}
+
 // leakReorderEarlyReturn: bailing out on a no-op sift skips the release.
 func leakReorderEarlyReturn(k *bdd.Kernel, f bdd.Ref) bdd.Ref {
 	mark := k.TempMark()

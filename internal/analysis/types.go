@@ -38,6 +38,47 @@ func isNamed(t types.Type, pkgName, typeName string) bool {
 	return obj != nil && obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
 }
 
+// IsCheckerPtr reports whether t is *core.Checker.
+func IsCheckerPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(ptr.Elem(), "core", "Checker")
+}
+
+// IsStorePtr reports whether t is *store.Store (the durability store).
+func IsStorePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(ptr.Elem(), "store", "Store")
+}
+
+// IsPoolPtr reports whether t is *replica.Pool (the replicated read pool).
+func IsPoolPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamed(ptr.Elem(), "replica", "Pool")
+}
+
+// CheckerMethod returns (receiver expression, method name, true) when call is
+// a method call on a *core.Checker value.
+func CheckerMethod(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || !IsCheckerPtr(tv.Type) {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
 // KernelMethod returns (receiver expression, method name, true) when call is
 // a method call on a *bdd.Kernel value.
 func KernelMethod(info *types.Info, call *ast.CallExpr) (ast.Expr, string, bool) {

@@ -13,6 +13,22 @@
 // cmd/go/internal/work): it names the unit's Go files and maps each import
 // path to the export-data file the compiler already produced, so the unit is
 // type-checked here without re-compiling its dependencies.
+//
+// Facts ride the same protocol: cmd/go runs the tool over each dependency
+// first (VetxOnly mode), keeps the facts file the tool writes to VetxOutput,
+// and hands the collected files to dependent units through PackageVetx. The
+// checker therefore analyzes dependency units for real (discarding their
+// diagnostics — those were, or will be, reported when the dependency itself
+// is vetted) so the function summaries of internal/analysis/facts.go cross
+// package boundaries. Standard-library units are skipped outright: the
+// cvlint analyzers neither report on nor summarize std code, and skipping
+// keeps `go vet -vettool=cvlint std-importing-package` cheap.
+//
+// Two environment variables tunnel options through cmd/go, which forwards no
+// tool flags:
+//
+//	CVLINT_JSON=1            emit diagnostics as JSON lines (analysis.WriteJSON)
+//	CVLINT_ANALYZERS=a,b     run only the named analyzers (unknown names fail)
 package unitchecker
 
 import (
@@ -28,6 +44,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 )
@@ -89,39 +106,119 @@ func printVersion(progname string) {
 	fmt.Printf("%s version devel buildID=%x\n", progname, h.Sum(nil)[:16])
 }
 
-// runUnit analyzes one compilation unit and exits non-zero when diagnostics
-// were reported (the convention go vet expects from a vet tool).
+// runUnit analyzes one compilation unit and exits non-zero when unsuppressed
+// diagnostics were reported (the convention go vet expects from a vet tool).
 func runUnit(cfgFile string, analyzers []*analysis.Analyzer) {
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
 		fatal(err)
 	}
-	if cfg.VetxOnly {
-		// Dependency-mode run: cmd/go only wants "facts" for downstream
-		// units. This suite has none, so succeed without analyzing; the
-		// empty vetx file keeps the action cacheable.
-		if cfg.VetxOutput != "" {
-			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	if sel := os.Getenv("CVLINT_ANALYZERS"); sel != "" {
+		analyzers, err = Select(analyzers, sel)
+		if err != nil {
+			fatal(err)
 		}
+	}
+	if cfg.Standard[cfg.ImportPath] || isStdUnit(cfg) {
+		// The suite's contracts only cover this module's declarations;
+		// skipping std units keeps dependency-mode runs instant and, more
+		// importantly, keeps std-internal code from exporting facts (net/http
+		// calling its own WriteHeader must not read as an acknowledgment).
+		writeVetx(cfg, nil)
 		return
 	}
 	fset := token.NewFileSet()
-	diags, err := analyze(fset, cfg, analyzers)
+	diags, facts, err := analyze(fset, cfg, analyzers)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return
 		}
 		fatal(err)
 	}
-	if cfg.VetxOutput != "" {
-		_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+	writeVetx(cfg, facts)
+	if cfg.VetxOnly {
+		// Dependency-mode run: cmd/go only wanted the facts. Diagnostics
+		// belong to the run that names this unit directly.
+		return
 	}
-	if len(diags) > 0 {
+	live := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			live++
+		}
+	}
+	if os.Getenv("CVLINT_JSON") != "" {
+		if err := analysis.WriteJSON(os.Stderr, fset, diags); err != nil {
+			fatal(err)
+		}
+	} else {
 		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 		}
+	}
+	if live > 0 {
 		os.Exit(1)
 	}
+}
+
+// isStdUnit reports whether the unit itself is a standard-library package.
+// cmd/go's Standard map only covers the unit's dependencies, so the unit is
+// recognized by its source living under GOROOT/src.
+func isStdUnit(cfg *Config) bool {
+	if len(cfg.GoFiles) == 0 {
+		return false
+	}
+	root := filepath.Join(build.Default.GOROOT, "src") + string(filepath.Separator)
+	return strings.HasPrefix(cfg.GoFiles[0], root)
+}
+
+// Select filters the suite down to a comma-separated analyzer list, failing
+// on names the suite does not contain.
+func Select(all []*analysis.Analyzer, csv string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, names(all))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected from %q", csv)
+	}
+	return out, nil
+}
+
+func names(all []*analysis.Analyzer) string {
+	var ns []string
+	for _, a := range all {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// writeVetx persists the unit's exported facts where cmd/go asked for them.
+// An empty file (no facts) is valid and keeps the action cacheable.
+func writeVetx(cfg *Config, facts analysis.PackageFacts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := analysis.EncodeFacts(facts)
+	if err != nil {
+		fatal(err)
+	}
+	_ = os.WriteFile(cfg.VetxOutput, data, 0o666)
 }
 
 func fatal(err error) {
@@ -144,13 +241,15 @@ func readConfig(filename string) (*Config, error) {
 	return cfg, nil
 }
 
-// analyze parses and type-checks the unit, then runs the analyzers.
-func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// analyze parses and type-checks the unit, then runs the analyzers with the
+// dependency facts cmd/go collected, returning diagnostics (suppressed ones
+// included, marked) and the facts this unit exports.
+func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, analysis.PackageFacts, error) {
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -170,10 +269,42 @@ func analyze(fset *token.FileSet, cfg *Config, analyzers []*analysis.Analyzer) (
 	}
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	isStd := func(path string) bool { return cfg.Standard[path] }
-	return analysis.Run(fset, files, pkg, info, isStd, analyzers)
+	imported, err := readImportedFacts(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return analysis.RunWithFacts(fset, files, pkg, info, isStd, imported, analyzers)
+}
+
+// readImportedFacts loads the facts files of the unit's dependencies. A
+// missing or empty file means "no facts" (older binaries and std units write
+// empty ones); a present-but-corrupt file is an error, since silently losing
+// facts would un-verify interprocedural contracts.
+func readImportedFacts(cfg *Config) (map[string]analysis.PackageFacts, error) {
+	if len(cfg.PackageVetx) == 0 {
+		return nil, nil
+	}
+	imported := make(map[string]analysis.PackageFacts, len(cfg.PackageVetx))
+	for path, file := range cfg.PackageVetx {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("reading facts of %q: %v", path, err)
+		}
+		pf, err := analysis.DecodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("facts of %q: %v", path, err)
+		}
+		if len(pf) > 0 {
+			imported[path] = pf
+		}
+	}
+	return imported, nil
 }
 
 // makeImporter resolves imports through the export-data files cmd/go listed

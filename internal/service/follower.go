@@ -215,6 +215,8 @@ func (s *Server) stalenessErr() error {
 // tailLoop drives the follower until shutdown: poll, apply, and on failure
 // back off or re-bootstrap. Started by New; Close cancels replCtx and waits
 // on tailDone.
+//
+//cv:owner any
 func (s *Server) tailLoop() {
 	defer close(s.tailDone)
 	backoff := s.follow.Backoff

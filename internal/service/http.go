@@ -320,6 +320,7 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context
 	return context.WithTimeout(r.Context(), d)
 }
 
+//cv:owner any
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.nChecks.Add(1)
 	start := time.Now()
@@ -417,6 +418,7 @@ func toWireResult(res core.Result) CheckResult {
 	return out
 }
 
+//cv:owner any
 func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	s.nWitnesses.Add(1)
 	start := time.Now()
@@ -470,6 +472,7 @@ func (s *Server) handleWitnesses(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+//cv:owner any
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.nUpdateJobs.Add(1)
 	start := time.Now()
@@ -508,6 +511,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, UpdateResponse{Applied: applied, Trace: toWireTrace(tr, wantTrace)})
 }
 
+//cv:owner any
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
@@ -518,12 +522,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetricsz serves the Prometheus text exposition: the request/stage
 // histograms plus gauge callbacks over the worker-published snapshot and the
 // replica pool's per-worker stats. No live kernel is touched.
+//
+//cv:owner any
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.observeResponse(http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.metrics.reg.WritePrometheus(w)
 }
 
+//cv:owner any
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	cs := snap.checker

@@ -310,6 +310,8 @@ type TableStats struct {
 // the given constraint registry, and starts its worker. The caller must not
 // touch the checker (or its catalog, store or kernel) afterwards: the worker
 // owns them. Close shuts the worker down.
+//
+//cv:owner worker
 func New(chk *core.Checker, constraints []logic.Constraint, opts Options) (*Server, error) {
 	s := &Server{
 		chk:      chk,
@@ -446,6 +448,8 @@ type updateReply struct {
 
 // run is the worker loop. It alternates between applying every queued
 // update batch and serving one check, so updates coalesce between checks.
+//
+//cv:owner worker
 func (s *Server) run() {
 	defer close(s.done)
 	for {

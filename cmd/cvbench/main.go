@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold|parallel]
+//	cvbench [-exp all|fig2a|fig2bc|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|table1|threshold|parallel|reorder|shard]
 //	        [-full] [-seed N] [-json rows.jsonl] [-parallel N]
 //
 // By default reduced workload sizes keep the whole run in laptop-minutes;
@@ -43,6 +43,7 @@ var all = []struct {
 	{"threshold", experiments.Threshold},
 	{"parallel", experiments.Parallel},
 	{"reorder", experiments.Reorder},
+	{"shard", experiments.Shard},
 }
 
 func main() {

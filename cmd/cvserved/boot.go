@@ -152,6 +152,28 @@ func fetchInitialSnapshot(cfg bootConfig, st *store.Store) error {
 	return fmt.Errorf("bootstrapping from leader %s: %w", cfg.follow, err)
 }
 
+// loadCatalog reads the CSV tables and the constraints file — the shared
+// front half of every cold boot, including the sharded forms.
+func loadCatalog(cfg bootConfig) (*relation.Catalog, []logic.Constraint, error) {
+	cat := relation.NewCatalog()
+	for _, tf := range cfg.tables {
+		t, err := cat.ReadCSVFile(tf.name, tf.path, cfg.shared)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.logf("loaded %s: %d rows, %d columns", t.Name(), t.Len(), t.NumCols())
+	}
+	src, err := os.ReadFile(cfg.constraintsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	constraints, err := logic.ParseConstraints(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cat, constraints, nil
+}
+
 // bootCold builds the checker from CSV files and the constraints file. With
 // a (fresh) store, it seals the loaded state as the epoch-1 snapshot so a
 // restart never needs the CSV files again.
@@ -167,19 +189,7 @@ func bootCold(cfg bootConfig, st *store.Store) (*bootResult, error) {
 	if cfg.constraintsPath == "" {
 		return nil, errors.New("-constraints is required")
 	}
-	cat := relation.NewCatalog()
-	for _, tf := range cfg.tables {
-		t, err := cat.ReadCSVFile(tf.name, tf.path, cfg.shared)
-		if err != nil {
-			return nil, err
-		}
-		cfg.logf("loaded %s: %d rows, %d columns", t.Name(), t.Len(), t.NumCols())
-	}
-	src, err := os.ReadFile(cfg.constraintsPath)
-	if err != nil {
-		return nil, err
-	}
-	constraints, err := logic.ParseConstraints(string(src))
+	cat, constraints, err := loadCatalog(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,16 @@
 // A damaged or newer-format data directory refuses to start (no silent CSV
 // fallback). cvstore inspects, verifies and compacts the directory offline.
 //
+// With -shards N -shard-key TABLE.COL the daemon partitions the catalog by
+// the key column's values across N in-process shard kernels behind a
+// scatter-gather coordinator: shard-local constraints fan out and merge,
+// the rest run on a residual kernel over the full catalog. With
+// -coordinator -worker-urls u0,u1,... the same coordinator runs over
+// external single-kernel cvserved workers, each serving one partition (cut
+// offline with cvshard). Both forms boot cold from CSV and refuse
+// -data-dir/-follow; /statsz gains a per-shard block and /metricsz rolls up
+// cv_shard_* series labeled by shard.
+//
 // With -follow <leader-url> (requires -data-dir) the daemon runs as a
 // read-only follower: an empty data directory bootstraps from the leader's
 // newest snapshot, then the leader's WAL is tailed over /wal long-polls and
@@ -101,6 +111,12 @@ func main() {
 	reorder := flag.Bool("reorder", false, "sift the BDD variable order between update batches when the kernel grows")
 	reorderGrowth := flag.Float64("reorder-growth", 0, "reorder when live nodes exceed this factor of the post-reorder baseline (0 = default 2.0)")
 	reorderMinNodes := flag.Int("reorder-min-nodes", 0, "never reorder kernels smaller than this many live nodes (0 = default 4096)")
+	shards := flag.Int("shards", 0, "partition the catalog across this many in-process shard kernels behind a scatter-gather coordinator (requires -shard-key)")
+	shardKey := flag.String("shard-key", "", "TABLE.COLUMN whose values partition the catalog; tables sharing the column's domain co-partition, others broadcast")
+	shardMode := flag.String("shard-mode", "hash", "partitioning function: hash|range")
+	shardBounds := flag.String("shard-bounds", "", "comma-separated sorted split points for -shard-mode range (N-1 bounds for N shards)")
+	coordinatorMode := flag.Bool("coordinator", false, "serve as a scatter-gather coordinator over external shard workers (requires -worker-urls)")
+	workerURLs := flag.String("worker-urls", "", "comma-separated shard worker base URLs in shard order, e.g. http://s0:8080,http://s1:8080")
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout")
 	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout")
@@ -134,7 +150,7 @@ func main() {
 		}
 	}
 
-	res, err := boot(bootConfig{
+	bcfg := bootConfig{
 		tables:          tables,
 		shared:          shared,
 		constraintsPath: *constraintsPath,
@@ -146,40 +162,70 @@ func main() {
 		retain:          *retain,
 		follow:          *follow,
 		logf:            log.Printf,
-	})
-	if err != nil {
-		fatal(err)
 	}
 
-	var followerOpts *service.FollowerOptions
-	if *follow != "" {
-		followerOpts = &service.FollowerOptions{URL: *follow, MaxLag: *maxLag, PollWait: *pollWait}
-	}
-	srv, err := service.New(res.chk, res.constraints, service.Options{
-		QueueDepth:           *queue,
-		MaxBatch:             *maxBatch,
-		DefaultTimeout:       *timeout,
-		NodesPerSecond:       *nodesPerSec,
-		Replicas:             *replicas,
-		MaxBodyBytes:         *maxBody,
-		SlowRequest:          *slowReq,
-		Store:                res.st,
-		SnapshotEveryBatches: *snapshotEvery,
-		SnapshotWALBytes:     *snapshotBytes,
-		InitialEpoch:         res.initialEpoch,
-		Reorder:              *reorder,
-		ReorderGrowth:        *reorderGrowth,
-		ReorderMinNodes:      *reorderMinNodes,
-		Follower:             followerOpts,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	for _, name := range srv.Constraints() {
-		log.Printf("constraint %s registered", name)
-	}
+	var handler http.Handler
+	var shutdown func()
+	if *shards > 0 || *coordinatorMode || *workerURLs != "" {
+		h, closeCoord, err := bootSharded(shardBootConfig{
+			bootConfig:  bcfg,
+			shards:      *shards,
+			key:         *shardKey,
+			mode:        *shardMode,
+			bounds:      *shardBounds,
+			coordinator: *coordinatorMode,
+			workerURLs:  *workerURLs,
+			queue:       *queue,
+			timeout:     *timeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		handler, shutdown = h, closeCoord
+	} else {
+		res, err := boot(bcfg)
+		if err != nil {
+			fatal(err)
+		}
 
-	handler := srv.Handler()
+		var followerOpts *service.FollowerOptions
+		if *follow != "" {
+			followerOpts = &service.FollowerOptions{URL: *follow, MaxLag: *maxLag, PollWait: *pollWait}
+		}
+		srv, err := service.New(res.chk, res.constraints, service.Options{
+			QueueDepth:           *queue,
+			MaxBatch:             *maxBatch,
+			DefaultTimeout:       *timeout,
+			NodesPerSecond:       *nodesPerSec,
+			Replicas:             *replicas,
+			MaxBodyBytes:         *maxBody,
+			SlowRequest:          *slowReq,
+			Store:                res.st,
+			SnapshotEveryBatches: *snapshotEvery,
+			SnapshotWALBytes:     *snapshotBytes,
+			InitialEpoch:         res.initialEpoch,
+			Reorder:              *reorder,
+			ReorderGrowth:        *reorderGrowth,
+			ReorderMinNodes:      *reorderMinNodes,
+			WriteTimeout:         *writeTimeout,
+			Follower:             followerOpts,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range srv.Constraints() {
+			log.Printf("constraint %s registered", name)
+		}
+		handler = srv.Handler()
+		shutdown = func() {
+			srv.Close()
+			if res.st != nil {
+				if err := res.st.Close(); err != nil {
+					log.Printf("closing data directory: %v", err)
+				}
+			}
+		}
+	}
 	if *pprofOn {
 		// The service mux only routes its own endpoints, so pprof mounts on a
 		// wrapper mux rather than http.DefaultServeMux (which other packages
@@ -223,12 +269,7 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
-	srv.Close()
-	if res.st != nil {
-		if err := res.st.Close(); err != nil {
-			log.Printf("closing data directory: %v", err)
-		}
-	}
+	shutdown()
 }
 
 func fatal(err error) {

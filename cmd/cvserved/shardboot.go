@@ -1,0 +1,128 @@
+package main
+
+// shardboot.go assembles the horizontally sharded daemon forms:
+//
+//	-shards N -shard-key TABLE.COL          N in-process shard kernels behind
+//	                                        one scatter-gather coordinator in
+//	                                        this process.
+//	-coordinator -worker-urls u1,u2,...     coordinator only; each URL is an
+//	                                        ordinary single-kernel cvserved
+//	                                        serving that shard's partition
+//	                                        (cut offline with cvshard).
+//
+// Both forms boot cold from CSV: the coordinator needs the full catalog to
+// plan constraint decomposition and to back its residual checker, so
+// -table/-constraints stay mandatory and the durability flags (-data-dir,
+// -follow) are refused — per-shard durability belongs to the workers.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// shardBootConfig is the sharded slice of the command line.
+type shardBootConfig struct {
+	bootConfig
+
+	shards      int
+	key         string
+	mode        string
+	bounds      string
+	coordinator bool
+	workerURLs  string
+
+	queue   int
+	timeout time.Duration
+}
+
+// bootSharded builds the coordinator for either sharded form and returns
+// its HTTP handler plus a shutdown hook.
+func bootSharded(cfg shardBootConfig) (http.Handler, func(), error) {
+	if cfg.dataDir != "" || cfg.follow != "" {
+		return nil, nil, errors.New("sharded modes boot cold from CSV: -data-dir and -follow belong on the shard workers, not the coordinator")
+	}
+	if cfg.coordinator && cfg.workerURLs == "" {
+		return nil, nil, errors.New("-coordinator requires -worker-urls (comma-separated shard worker base URLs, in shard order)")
+	}
+	if !cfg.coordinator && cfg.workerURLs != "" {
+		return nil, nil, errors.New("-worker-urls requires -coordinator")
+	}
+	if cfg.key == "" {
+		return nil, nil, errors.New("sharded modes require -shard-key TABLE.COLUMN")
+	}
+	key, err := shard.ParseKey(cfg.key)
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := shard.ParseMode(cfg.mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bounds []string
+	if cfg.bounds != "" {
+		for _, b := range strings.Split(cfg.bounds, ",") {
+			bounds = append(bounds, strings.TrimSpace(b))
+		}
+	}
+
+	var urls []string
+	n := cfg.shards
+	if cfg.coordinator {
+		for _, u := range strings.Split(cfg.workerURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return nil, nil, errors.New("-worker-urls names no workers")
+		}
+		if n > 0 && n != len(urls) {
+			return nil, nil, fmt.Errorf("-shards %d disagrees with %d -worker-urls entries", n, len(urls))
+		}
+		n = len(urls)
+	}
+	if n <= 0 {
+		return nil, nil, errors.New("-shards must be positive")
+	}
+
+	cat, constraints, err := loadCatalog(cfg.bootConfig)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := shard.NewPartitioner(cat, key, n, mode, bounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := shard.Options{
+		NodeBudget:     cfg.budget,
+		Method:         cfg.method,
+		QueueDepth:     cfg.queue,
+		DefaultTimeout: cfg.timeout,
+		Logf:           cfg.logf,
+	}
+
+	var coord *shard.Coordinator
+	if cfg.coordinator {
+		workers := make([]shard.Worker, n)
+		for i, u := range urls {
+			workers[i] = shard.NewHTTPWorker(i, u, nil)
+		}
+		coord, err = shard.NewCoordinator(cat, constraints, part, workers, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.logf("coordinator over %d HTTP shard workers, key %s (%s)", n, cfg.key, cfg.mode)
+	} else {
+		coord, err = shard.NewInProcess(cat, constraints, part, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.logf("coordinator over %d in-process shards, key %s (%s)", n, cfg.key, cfg.mode)
+	}
+	return coord.Handler(), coord.Close, nil
+}

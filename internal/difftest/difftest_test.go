@@ -33,6 +33,12 @@ var reorderSoak = flag.Bool("reorder", false, "force dynamic reordering between 
 // verdicts and witness sets at every step.
 var followerSoak = flag.Bool("follower", false, "cross-check a WAL-shipped follower checker at every soak step")
 
+// -shards adds the sharded scatter-gather coordinator as a comparison
+// target: every soak case is also partitioned across this many in-process
+// shard kernels, every update batch is routed through the coordinator, and
+// verdicts plus witness sets must match the primary at every step.
+var shardSoak = flag.Int("shards", 0, "cross-check an in-process sharded coordinator with this many shards at every soak step (0 = off)")
+
 // soakBase is the fixed seed base: case i derives from soakBase+i, so every
 // run (and every CI run) replays the identical case sequence.
 const soakBase = int64(0xD1FF)
@@ -41,7 +47,8 @@ func TestDifferentialSoak(t *testing.T) {
 	DebugChecks = *debugChecks
 	ForceReorder = *reorderSoak
 	FollowerSoak = *followerSoak
-	defer func() { ForceReorder = false; FollowerSoak = false }()
+	ShardSoak = *shardSoak
+	defer func() { ForceReorder = false; FollowerSoak = false; ShardSoak = 0 }()
 	pairs := 0
 	for i := 0; i < *soakSeeds; i++ {
 		rng := rand.New(rand.NewSource(soakBase + int64(i)))

@@ -135,6 +135,16 @@ func RunCase(c *Case) (*Mismatch, error) {
 			return mm, err
 		}
 	}
+	var shardO *shardOracle
+	if ShardSoak > 0 {
+		if shardO, err = newShardOracle(c, cts); err != nil {
+			return nil, err
+		}
+		defer shardO.close()
+		if mm, err := shardO.check(primary, 0); mm != nil || err != nil {
+			return mm, err
+		}
+	}
 	for i, batch := range c.Updates {
 		if _, err := primary.Apply(batch); err != nil {
 			return nil, fmt.Errorf("difftest: applying batch %d: %w", i+1, err)
@@ -153,6 +163,16 @@ func RunCase(c *Case) (*Mismatch, error) {
 				return nil, fmt.Errorf("difftest: shipping batch %d: %w", i+1, err)
 			}
 			if mm, err := fol.check(primary, cts, i+1); mm != nil || err != nil {
+				return mm, err
+			}
+		}
+		if shardO != nil {
+			// Route the same batch through the coordinator's fan-out and
+			// re-prove the sharded answers against the primary.
+			if err := shardO.apply(batch); err != nil {
+				return nil, fmt.Errorf("difftest: shard coordinator applying batch %d: %w", i+1, err)
+			}
+			if mm, err := shardO.check(primary, i+1); mm != nil || err != nil {
 				return mm, err
 			}
 		}

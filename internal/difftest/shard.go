@@ -1,0 +1,172 @@
+package difftest
+
+// shard.go adds the sharded scatter-gather coordinator as another
+// evaluation path of the harness. When ShardSoak is N > 0, RunCase builds a
+// second copy of the case's catalog, partitions it across N in-process
+// shard kernels behind a shard.Coordinator, drives every update batch
+// through Coordinator.Update — the routed, fan-out mutation path — and
+// after each step holds the coordinator against the primary: verdicts on
+// every constraint, and full witness-set identity on violated validity
+// checks. Any disagreement means constraint decomposition, the per-shard
+// merge, or the residual fallback answers differently from a single
+// kernel.
+//
+// The partition key is chosen deterministically from the case — the
+// (table, column) whose decomposition makes the most constraints
+// shard-local — so every run replays identically while routing as much as
+// the generated schema allows through the scatter-gather merge; whatever
+// remains lands on the single-shard and residual paths, which must agree
+// with the primary just the same.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+	"repro/internal/shard"
+)
+
+// ShardSoak makes RunCase cross-check an in-process sharded coordinator
+// with this many shards after the initial load and after every update
+// batch. The difftest suite's -shards flag sets it; 0 disables the oracle.
+var ShardSoak int
+
+// shardOracle owns the coordinator and the constraint set it was built
+// with.
+type shardOracle struct {
+	coord *shard.Coordinator
+	cts   []logic.Constraint
+}
+
+// newShardOracle partitions a fresh build of the case across ShardSoak
+// in-process shards. The primary is untouched: the coordinator gets its own
+// catalog (same rows, same interned dictionaries) so divergence can only
+// come from the sharded evaluation itself.
+func newShardOracle(c *Case, cts []logic.Constraint) (*shardOracle, error) {
+	cat, err := c.Build()
+	if err != nil {
+		return nil, fmt.Errorf("difftest: rebuilding case for shard oracle: %w", err)
+	}
+	part, err := pickPartitioner(c, cat, cts)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := shard.NewInProcess(cat, cts, part, shard.Options{
+		NodeBudget: -1,
+		RandomSeed: c.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: building shard coordinator: %w", err)
+	}
+	return &shardOracle{coord: coord, cts: cts}, nil
+}
+
+// pickPartitioner tries every (table, column) of the case as the partition
+// key and keeps the one whose decomposition makes the most constraints
+// shard-local — the scatter-gather merge is the riskiest path, so the
+// oracle should route as much through it as the schema allows. Iteration
+// order follows the case spec, so the choice is deterministic; a case
+// where nothing decomposes local still runs (single-shard and residual
+// paths must agree with the primary too).
+func pickPartitioner(c *Case, cat *relation.Catalog, cts []logic.Constraint) (*shard.Partitioner, error) {
+	if len(c.Tables) == 0 || len(c.Tables[0].Cols) == 0 {
+		return nil, fmt.Errorf("difftest: shard oracle needs at least one table column as the partition key")
+	}
+	res := logic.CatalogResolver{Catalog: cat}
+	var best *shard.Partitioner
+	bestLocal := -1
+	for _, ts := range c.Tables {
+		for _, col := range ts.Cols {
+			p, err := shard.NewPartitioner(cat, shard.Key{Table: ts.Name, Column: col.Name}, ShardSoak, shard.HashMode, nil)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: shard partitioner on %s.%s: %w", ts.Name, col.Name, err)
+			}
+			local := 0
+			for _, ct := range cts {
+				if p.Decompose(ct, res).Kind == shard.PlanLocal {
+					local++
+				}
+			}
+			if local > bestLocal {
+				best, bestLocal = p, local
+			}
+		}
+	}
+	return best, nil
+}
+
+func (s *shardOracle) close() { s.coord.Close() }
+
+// apply routes one update batch through the coordinator — the same
+// validate-route-fanout path a production coordinator runs.
+func (s *shardOracle) apply(batch []core.Update) error {
+	applied, _, err := s.coord.Update(context.Background(), batch, nil)
+	if err != nil {
+		return err
+	}
+	if applied != len(batch) {
+		return fmt.Errorf("coordinator applied %d of %d tuples", applied, len(batch))
+	}
+	return nil
+}
+
+// check holds the coordinator against the primary. The caller runs it only
+// after checkAll passed, so the primary's answers already agree with the
+// SQL baseline.
+func (s *shardOracle) check(primary *core.Checker, step int) (*Mismatch, error) {
+	ctx := context.Background()
+	outs, err := s.coord.Check(ctx, s.cts, 0, nil)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: shard coordinator check at step %d: %w", step, err)
+	}
+	for i, ct := range s.cts {
+		mm := func(kind, format string, args ...interface{}) *Mismatch {
+			return &Mismatch{Step: step, Constraint: ct.Name, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+		}
+		out := outs[i]
+		if out.Err != "" || out.FellBack {
+			// Budget is unlimited and every shard indexes every table, so any
+			// failure or silent degrade is a sharding bug.
+			reason := out.Err
+			if reason == "" {
+				reason = out.FallbackReason
+			}
+			return mm("shard-error", "sharded check failed (method %s): %s", out.Method, reason), nil
+		}
+		pres := primary.CheckOne(ct)
+		if pres.Violated != out.Violated {
+			plan := s.coord.PlanFor(ct)
+			return mm("shard-verdict", "primary(%s)=%v coordinator(%s)=%v under plan %s",
+				pres.Method, pres.Violated, out.Method, out.Violated, plan), nil
+		}
+		if !pres.Violated {
+			continue
+		}
+		an, err := logic.Analyze(ct.F, primary.Resolver())
+		if err != nil {
+			return nil, fmt.Errorf("difftest: analyzing %s: %w", ct.Name, err)
+		}
+		if logic.Rewrite(an.F, logic.DefaultRewriteOptions()).Mode != logic.CheckValidity {
+			continue // existence checks have no per-binding witnesses
+		}
+		pw, err := primary.ViolationWitnesses(ct, witnessLimit)
+		if err != nil {
+			return mm("witness-error", "primary witness enumeration failed: %v", err), nil
+		}
+		sw, _, err := s.coord.Witnesses(ctx, ct, witnessLimit, 0, nil)
+		if err != nil {
+			return mm("witness-error", "coordinator witness enumeration failed: %v", err), nil
+		}
+		if len(pw) >= witnessLimit || len(sw) >= witnessLimit {
+			continue // truncated enumerations are not comparable
+		}
+		if diff := SetDiff(WitnessSet(pw), WitnessSet(sw)); diff != "" {
+			plan := s.coord.PlanFor(ct)
+			return mm("shard-witnesses", "primary vs coordinator under plan %s: %s (primary %d, coordinator %d)",
+				plan, diff, len(pw), len(sw)), nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+// shard.go measures the horizontally sharded check path (internal/shard):
+// /check-style throughput through an in-process scatter-gather coordinator
+// as the shard count grows from 1 to 8 over a fixed customer relation.
+// This experiment has no paper counterpart — the paper's engine is one
+// kernel over one relation — but quantifies what partitioning buys on top
+// of its data structures: each shard's kernel holds 1/N of the rows, so a
+// fanned-out shard-local check does less BDD work per kernel and the N
+// kernels evaluate concurrently.
+//
+// Every check uses a distinct ad-hoc constraint (fresh state/areacode
+// constants), so kernel operation caches cannot short-circuit the repeated
+// evaluations; the verdict multiset is compared across shard counts as a
+// built-in correctness guard.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/shard"
+)
+
+// shardCounts is the sweep; 1 is the single-kernel baseline (one worker
+// owning the whole relation behind the same coordinator machinery).
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardConstraints generates the ad-hoc check workload: each constraint
+// restricts the areacodes allowed in one state, with fresh constants so no
+// two checks share BDD cache entries. All decompose shard-local under a
+// CUST.city partition: the city variable anchors every occurrence.
+func shardConstraints(rng *rand.Rand, n int) ([]logic.Constraint, error) {
+	cts := make([]logic.Constraint, n)
+	for i := range cts {
+		state := datagen.StateName(rng.Intn(datagen.NumStates))
+		codes := make(map[string]bool)
+		for len(codes) < 4 {
+			codes[datagen.AreacodeName(rng.Intn(datagen.NumAreacodes))] = true
+		}
+		var set string
+		for code := range codes {
+			if set != "" {
+				set += ", "
+			}
+			set += fmt.Sprintf("%q", code)
+		}
+		src := fmt.Sprintf(`forall a, n, c, st, z: CUST(a, n, c, st, z) and st = %q => a in {%s}`, state, set)
+		f, err := logic.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("shard workload constraint: %w", err)
+		}
+		cts[i] = logic.Constraint{Name: fmt.Sprintf("q%d", i), F: f}
+	}
+	return cts, nil
+}
+
+// Shard measures checks/sec through the coordinator at each shard count.
+// Near-linear scaling toward the core count is the success criterion.
+func Shard(cfg Config) error {
+	w := cfg.out()
+	tuples, checks := 20000, 240
+	if cfg.Full {
+		tuples, checks = 100000, 960
+	}
+	submitters := 8
+	cts, err := shardConstraints(cfg.rng(950), checks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "=== Sharded check throughput: scatter-gather coordinator (%d tuples, %d distinct checks, %d CPUs) ===\n",
+		tuples, checks, runtime.NumCPU())
+	fmt.Fprintf(w, "%-10s %14s %14s %10s %10s %10s\n", "shards", "total", "ns/check", "checks/s", "p95", "p99")
+	var base float64
+	var baseViolated int
+	for _, n := range shardCounts {
+		cat := relation.NewCatalog()
+		if _, err := datagen.Customers(cat, "CUST", datagen.CustomerSpec{Tuples: tuples, NoiseRate: 0.001}, cfg.rng(951)); err != nil {
+			return err
+		}
+		part, err := shard.NewPartitioner(cat, shard.Key{Table: "CUST", Column: "city"}, n, shard.HashMode, nil)
+		if err != nil {
+			return err
+		}
+		coord, err := shard.NewInProcess(cat, nil, part, shard.Options{NodeBudget: 8_000_000})
+		if err != nil {
+			return err
+		}
+		if plan := coord.PlanFor(cts[0]); plan.Kind != shard.PlanLocal {
+			coord.Close()
+			return fmt.Errorf("shard workload did not decompose local: %v", plan)
+		}
+		var hist obs.Histogram
+		violated, rate, elapsed, err := shardRun(coord, submitters, cts, &hist)
+		coord.Close()
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base, baseViolated = rate, violated
+		} else if violated != baseViolated {
+			return fmt.Errorf("verdicts drifted across shard counts: %d violated at %d shards, %d at %d",
+				violated, n, baseViolated, shardCounts[0])
+		}
+		fmt.Fprintf(w, "%-10d %14v %14d %10.0f %10v %10v  (%.2fx)\n",
+			n, elapsed.Round(time.Millisecond), elapsed.Nanoseconds()/int64(len(cts)), rate,
+			hist.Quantile(0.95), hist.Quantile(0.99), rate/base)
+		cfg.record(BenchRow{
+			Experiment: "shard", Name: "check",
+			Params: map[string]any{
+				"shards": n, "checks": checks, "tuples": tuples, "submitters": submitters,
+				"violated": violated, "gomaxprocs": runtime.GOMAXPROCS(0), "cpus": runtime.NumCPU(),
+			},
+			NsPerOp: elapsed.Nanoseconds() / int64(len(cts)),
+		}.withPercentiles(&hist))
+	}
+	fmt.Fprintln(w, "expectation: throughput grows with the shard count until it reaches the core count")
+	return nil
+}
+
+// shardRun drives the checks through the coordinator from `submitters`
+// goroutines. Each worker kernel first serves one warmup check (index
+// adoption and first-evaluation costs stay out of the timed region), then
+// the distinct-constraint workload is split across submitters; each check's
+// submission-to-merge latency feeds hist.
+func shardRun(coord *shard.Coordinator, submitters int, cts []logic.Constraint, hist *obs.Histogram) (violated int, rate float64, elapsed time.Duration, err error) {
+	ctx := context.Background()
+	if _, err := coord.Check(ctx, cts[:1], 0, nil); err != nil {
+		return 0, 0, 0, err
+	}
+
+	var nViolated atomic.Int64
+	var firstErr atomic.Pointer[error]
+	fail := func(e error) { firstErr.CompareAndSwap(nil, &e) }
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	start := time.Now()
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cts) {
+					return
+				}
+				checkStart := time.Now()
+				outs, err := coord.Check(ctx, cts[i:i+1], 0, nil)
+				hist.Observe(time.Since(checkStart))
+				if err != nil {
+					fail(err)
+					return
+				}
+				if outs[0].Err != "" {
+					fail(fmt.Errorf("%s: %s", outs[0].Name, outs[0].Err))
+					return
+				}
+				if outs[0].FellBack {
+					fail(fmt.Errorf("%s: fell back: %s", outs[0].Name, outs[0].FallbackReason))
+					return
+				}
+				if outs[0].Violated {
+					nViolated.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, 0, *e
+	}
+	return int(nViolated.Load()), float64(len(cts)) / elapsed.Seconds(), elapsed, nil
+}

@@ -1,0 +1,188 @@
+package service_test
+
+// edge_test.go pins down three HTTP-edge regressions:
+//
+//  1. /wal long-polls are clamped below the enclosing server's write
+//     timeout, so a parked poll can never be cut mid-response.
+//  2. Every integer query/path parameter rejects signs, trailing garbage
+//     and overflow with a uniform 400 JSON envelope (strconv used to let
+//     "+1" through and leak its own error text for the rest).
+//  3. /snapshot streams stay intact when a concurrent snapshot round
+//     prunes the epoch being served: headers come from the manifest entry
+//     pinned before the first byte, and the body matches them exactly.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+func TestWALWaitClampedBelowWriteTimeout(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server believes its http.Server has a 1s write timeout, so the
+	// effective long-poll ceiling is 500ms — regardless of the client
+	// asking for a minute.
+	_, ts := newDurableServer(t, st, service.Options{
+		SnapshotEveryBatches: 1000,
+		WriteTimeout:         1 * time.Second,
+	})
+
+	start := time.Now()
+	var resp service.WALTailResponse
+	if status := get(t, ts.URL+"/wal?from=1&wait_ms=60000", &resp); status != http.StatusOK {
+		t.Fatalf("/wal status %d", status)
+	}
+	elapsed := time.Since(start)
+	if len(resp.Batches) != 0 {
+		t.Fatalf("unexpected batches: %+v", resp.Batches)
+	}
+	// Generous upper bound: anything near the requested 60s (or above the
+	// pretend write timeout) means the clamp is gone.
+	if elapsed >= 1*time.Second {
+		t.Fatalf("long-poll parked for %v despite a 1s write timeout", elapsed)
+	}
+}
+
+// TestUintParamRejection drives every integer parameter through the same
+// malformed inputs and demands a 400 with a JSON error envelope for each —
+// no strconv phrasing, no sign acceptance, no silent overflow.
+func TestUintParamRejection(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newDurableServer(t, st, service.Options{SnapshotEveryBatches: 1000})
+
+	bads := []string{"1x", "+1", "-1", "0x10", "18446744073709551616"}
+	endpoints := []struct {
+		name string
+		url  func(bad string) string
+		post bool
+	}{
+		{"check_epoch", func(b string) string { return ts.URL + "/check?epoch=" + b }, true},
+		{"wal_from", func(b string) string { return ts.URL + "/wal?from=" + b }, false},
+		{"wal_wait_ms", func(b string) string { return ts.URL + "/wal?from=1&wait_ms=" + b }, false},
+		{"snapshot_epoch", func(b string) string { return ts.URL + "/snapshot/" + b }, false},
+	}
+	for _, ep := range endpoints {
+		for _, bad := range bads {
+			t.Run(ep.name+"/"+bad, func(t *testing.T) {
+				var env struct {
+					Error string `json:"error"`
+				}
+				var status int
+				if ep.post {
+					status = post(t, ep.url(bad), service.CheckRequest{}, &env)
+				} else {
+					status = get(t, ep.url(bad), &env)
+				}
+				if status != http.StatusBadRequest {
+					t.Fatalf("status %d, want 400", status)
+				}
+				if !strings.Contains(env.Error, "want an unsigned decimal integer") &&
+					!strings.Contains(env.Error, "out of range") {
+					t.Fatalf("error envelope %q is not the uniform message", env.Error)
+				}
+			})
+		}
+	}
+
+	// Valid forms still work: digits-only epochs and the "latest" alias.
+	var cr service.CheckResponse
+	if status := post(t, ts.URL+"/check?epoch=1", service.CheckRequest{}, &cr); status != http.StatusOK {
+		t.Fatalf("/check?epoch=1 status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/snapshot/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot/latest status %d", resp.StatusCode)
+	}
+}
+
+// TestSnapshotStreamSurvivesPrune opens a snapshot download, then drives the
+// server through a snapshot round that prunes the epoch being streamed, and
+// finishes the read: the body must still match the pinned manifest entry's
+// length and CRC byte for byte. A fresh request for the pruned epoch gets a
+// clean 410 JSON envelope, never headers-then-error.
+func TestSnapshotStreamSurvivesPrune(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Retain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newDurableServer(t, st, service.Options{SnapshotEveryBatches: 1})
+
+	resp, err := http.Get(ts.URL + "/snapshot/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot/1 status %d", resp.StatusCode)
+	}
+	wantLen, err := strconv.ParseInt(resp.Header.Get("Content-Length"), 10, 64)
+	if err != nil {
+		t.Fatalf("Content-Length: %v", err)
+	}
+	if got := resp.Header.Get(service.HeaderSnapshotEpoch); got != "1" {
+		t.Fatalf("snapshot epoch header %q, want 1", got)
+	}
+	wantCRC := resp.Header.Get(service.HeaderSnapshotCRC)
+
+	// Read a prefix, leave the stream open across the prune.
+	head := make([]byte, 64)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatalf("reading stream head: %v", err)
+	}
+
+	// Every batch seals a snapshot and Retain=1 prunes everything older:
+	// epoch 1's file is unlinked while our handle still reads it.
+	for i := 0; i < 2; i++ {
+		var ur service.UpdateResponse
+		status := post(t, ts.URL+"/update", service.UpdateRequest{Updates: []service.UpdateTuple{
+			{Table: "CUST", Op: "insert", Values: []string{"Barrie", []string{"416", "647"}[i], "Ontario"}},
+		}}, &ur)
+		if status != http.StatusOK {
+			t.Fatalf("/update %d status %d", i, status)
+		}
+	}
+	if st.LastSnapshotEpoch() <= 1 {
+		t.Fatalf("snapshot round did not advance past epoch 1 (at %d)", st.LastSnapshotEpoch())
+	}
+
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading stream tail after prune: %v", err)
+	}
+	body := append(head, rest...)
+	if int64(len(body)) != wantLen {
+		t.Fatalf("streamed %d bytes, Content-Length said %d", len(body), wantLen)
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)); got != wantCRC {
+		t.Fatalf("streamed CRC %s, header said %s", got, wantCRC)
+	}
+
+	// The pruned epoch now answers with a clean JSON 410 — no partial body.
+	var env struct {
+		Error string `json:"error"`
+	}
+	if status := get(t, ts.URL+"/snapshot/1", &env); status != http.StatusGone || env.Error == "" {
+		t.Fatalf("pruned epoch: status %d, envelope %q", status, env.Error)
+	}
+}

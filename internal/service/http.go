@@ -384,9 +384,9 @@ func (s *Server) epochParam(r *http.Request) (epoch uint64, live bool, err error
 	if raw == "" {
 		return cur, true, nil
 	}
-	n, perr := strconv.ParseUint(raw, 10, 64)
+	n, perr := parseUintParam("epoch", raw)
 	if perr != nil {
-		return 0, false, errBadRequest("bad epoch parameter: " + raw)
+		return 0, false, perr
 	}
 	if n == 0 || n == cur {
 		return cur, true, nil
@@ -672,6 +672,28 @@ type badRequestError string
 
 func errBadRequest(msg string) error    { return badRequestError(msg) }
 func (e badRequestError) Error() string { return string(e) }
+
+// parseUintParam parses an unsigned decimal query/path parameter strictly:
+// only ASCII digits are accepted, so signs ("+1", "-1"), trailing garbage
+// ("12x", "1 "), hex, and empty strings all fail with one uniform 400
+// message instead of whatever strconv would phrase (or, worse, accept).
+// Overflow gets its own message so a follower paging epochs can tell a typo
+// from a too-large value.
+func parseUintParam(name, raw string) (uint64, error) {
+	if raw == "" {
+		return 0, errBadRequest(fmt.Sprintf("bad %s parameter %q: want an unsigned decimal integer", name, raw))
+	}
+	for i := 0; i < len(raw); i++ {
+		if raw[i] < '0' || raw[i] > '9' {
+			return 0, errBadRequest(fmt.Sprintf("bad %s parameter %q: want an unsigned decimal integer", name, raw))
+		}
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, errBadRequest(fmt.Sprintf("bad %s parameter %q: out of range", name, raw))
+	}
+	return n, nil
+}
 
 func statusFor(err error) int {
 	var mbe *http.MaxBytesError

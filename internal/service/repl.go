@@ -51,6 +51,20 @@ const (
 // write timeout or long-polls would be cut mid-response.
 const maxWALWait = 30 * time.Second
 
+// walWaitCap is the effective long-poll ceiling: never above maxWALWait,
+// and never above half the enclosing http.Server's write timeout — the
+// remaining half is headroom to serialize and flush the response. A
+// cvserved started with a write timeout below 2×maxWALWait would otherwise
+// cut parked long-polls mid-chunk, which a tailing follower surfaces as a
+// spurious corrupt-record error.
+func (s *Server) walWaitCap() time.Duration {
+	limit := time.Duration(maxWALWait)
+	if wt := s.opts.WriteTimeout; wt > 0 && wt/2 < limit {
+		limit = wt / 2
+	}
+	return limit
+}
+
 // WALBatch is one acknowledged WAL record on the wire: the updates applied
 // under one epoch. Several records may share an epoch (one per job of a
 // coalesced round); a follower applies all records of an epoch as one unit.
@@ -106,10 +120,10 @@ func (s *Server) handleSnapshotFetch(w http.ResponseWriter, r *http.Request) {
 	defer s.finishRequest("snapshot", start, nil)
 	raw := r.PathValue("epoch")
 	var epoch uint64 // 0 = latest
-	if raw != "latest" && raw != "0" {
-		n, err := strconv.ParseUint(raw, 10, 64)
+	if raw != "latest" {
+		n, err := parseUintParam("snapshot epoch", raw)
 		if err != nil {
-			s.httpError(w, errBadRequest("bad snapshot epoch: "+raw))
+			s.httpError(w, err)
 			return
 		}
 		epoch = n
@@ -142,21 +156,30 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer s.finishRequest("wal", start, nil)
 	q := r.URL.Query()
-	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
-	if err != nil || from == 0 {
+	if q.Get("from") == "" {
+		s.httpError(w, errBadRequest("wal tailing requires ?from=<last applied epoch>"))
+		return
+	}
+	from, err := parseUintParam("from", q.Get("from"))
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	if from == 0 {
 		s.httpError(w, errBadRequest("wal tailing requires ?from=<last applied epoch>"))
 		return
 	}
 	var wait time.Duration
 	if rawWait := q.Get("wait_ms"); rawWait != "" {
-		ms, err := strconv.ParseInt(rawWait, 10, 64)
-		if err != nil || ms < 0 {
-			s.httpError(w, errBadRequest("bad wait_ms: "+rawWait))
+		ms, err := parseUintParam("wait_ms", rawWait)
+		if err != nil {
+			s.httpError(w, err)
 			return
 		}
 		wait = time.Duration(ms) * time.Millisecond
-		if wait > maxWALWait {
-			wait = maxWALWait
+		if limit := s.walWaitCap(); wait > limit || wait < 0 {
+			// wait < 0 catches Duration overflow from a huge wait_ms.
+			wait = limit
 		}
 	}
 	deadline := time.NewTimer(wait)

@@ -81,6 +81,13 @@ type Options struct {
 	// MaxBodyBytes caps the size of accepted request bodies; larger bodies
 	// are rejected with 413. 8 MiB when zero; negative disables the cap.
 	MaxBodyBytes int64
+	// WriteTimeout mirrors the enclosing http.Server's WriteTimeout so
+	// long-poll handlers (/wal?wait_ms=) can clamp their waits safely below
+	// it: a handler still parked when the write timeout fires has its
+	// connection cut mid-chunk, which a tailing follower sees as a spurious
+	// corrupt-record error. Zero means the server has no write timeout and
+	// only the built-in 30s cap applies.
+	WriteTimeout time.Duration
 	// SlowRequest, when positive, traces every request and logs those whose
 	// total time reaches the threshold, with per-stage spans and kernel
 	// deltas. Zero disables the slow-request log.

@@ -1,0 +1,574 @@
+// coordinator.go fans /check, /update and /witnesses out to shard workers
+// and merges the results according to each constraint's Plan. The
+// coordinator additionally owns a residual checker over the full catalog —
+// the correctness backstop for constraints the decomposer cannot prove
+// shard-local — and a single writer goroutine that serializes updates and
+// residual evaluation, mirroring the single-kernel service's worker.
+//
+// Consistency contract: each shard serializes its own operations, and the
+// coordinator serializes updates against each other and against residual
+// reads. Concurrent checks against in-flight updates may observe different
+// shards at different epochs (per-shard serializability, not cross-shard
+// snapshot isolation). A worker transport failure degrades the request to a
+// partial-result error naming the shard; it never merges an incomplete
+// verdict. A failed fan-out can leave shards and residual at diverged
+// epochs — the coordinator reports the error and does not advance its
+// epoch, and recovery is the operator's restart path (workers re-bootstrap
+// from their own stores or the partition pipeline).
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// Options tunes the coordinator and its in-process workers.
+type Options struct {
+	// NodeBudget caps each kernel's BDD nodes; negative means unlimited.
+	NodeBudget int
+	// Method picks the variable-ordering heuristic for shard indices.
+	Method core.OrderingMethod
+	// QueueDepth bounds each worker's admission queue (default 64).
+	QueueDepth int
+	// DefaultTimeout bounds HTTP-layer requests with no explicit deadline
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// RandomSeed seeds randomized ordering heuristics.
+	RandomSeed int64
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Coordinator owns the shard workers, the residual checker and the
+// constraint registry, and merges scatter-gather results.
+type Coordinator struct {
+	opts     Options
+	part     *Partitioner
+	workers  []Worker
+	residual *core.Checker
+	resolver logic.Resolver
+
+	constraints []logic.Constraint
+	plans       map[string]Plan // registered constraints, by name
+
+	jobs  chan *job // serializes updates + residual reads
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	epoch atomic.Uint64
+	start time.Time
+
+	// Request counters, read by metrics callbacks.
+	nChecks         atomic.Uint64
+	nWitnesses      atomic.Uint64
+	nUpdateBatches  atomic.Uint64
+	nUpdateTuples   atomic.Uint64
+	nLocalFanouts   atomic.Uint64
+	nSingleShard    atomic.Uint64
+	nResidualChecks atomic.Uint64
+	nWorkerFailures atomic.Uint64
+
+	metricsInit sync.Once
+	metrics     *obs.Registry
+}
+
+// NewInProcess splits the catalog into part.Shards() partitions, builds one
+// in-process worker per shard, and assembles the coordinator around them.
+// The catalog becomes coordinator-owned: it backs the residual checker and
+// must not be mutated by the caller afterwards.
+func NewInProcess(cat *relation.Catalog, cts []logic.Constraint, part *Partitioner, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	parts := part.Split(cat)
+	workers := make([]Worker, len(parts))
+	for i, pc := range parts {
+		w, err := newProcWorker(i, pc, opts)
+		if err != nil {
+			for _, built := range workers[:i] {
+				built.Close()
+			}
+			return nil, err
+		}
+		workers[i] = w
+	}
+	return NewCoordinator(cat, cts, part, workers, opts)
+}
+
+// NewCoordinator assembles a coordinator over caller-supplied workers (the
+// multi-process path hands in HTTPWorkers). The catalog is the full,
+// unsharded state backing the residual checker.
+func NewCoordinator(cat *relation.Catalog, cts []logic.Constraint, part *Partitioner, workers []Worker, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if len(workers) != part.Shards() {
+		return nil, fmt.Errorf("shard: %d workers for %d shards", len(workers), part.Shards())
+	}
+	c := &Coordinator{
+		opts:        opts,
+		part:        part,
+		workers:     workers,
+		residual:    core.New(cat, core.Options{NodeBudget: opts.NodeBudget, RandomSeed: opts.RandomSeed}),
+		constraints: cts,
+		plans:       make(map[string]Plan, len(cts)),
+		jobs:        make(chan *job, opts.QueueDepth),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+		start:       time.Now(),
+	}
+	c.resolver = logic.CatalogResolver{Catalog: cat}
+	c.epoch.Store(1)
+
+	// Classify the registry and index exactly the tables residual-classified
+	// constraints touch: local and single-shard constraints never reach the
+	// residual checker, so indexing their tables would duplicate every shard
+	// kernel's state at full size for nothing.
+	residualTables := map[string]bool{}
+	for _, ct := range cts {
+		plan := part.Decompose(ct, c.resolver)
+		c.plans[ct.Name] = plan
+		if plan.Kind != PlanResidual {
+			continue
+		}
+		if an, err := logic.Analyze(ct.F, c.resolver); err == nil {
+			for _, b := range an.Preds {
+				residualTables[b.Table.Name()] = true
+			}
+		}
+	}
+	for name := range residualTables {
+		if _, err := c.residual.BuildIndex(name, name, nil, opts.Method); err != nil {
+			opts.Logf("residual index %s: %v (falls back to SQL)", name, err)
+		}
+	}
+	for _, ct := range cts {
+		opts.Logf("plan %s: %s", ct.Name, c.plans[ct.Name])
+	}
+
+	go c.loop()
+	return c, nil
+}
+
+// loop is the coordinator's writer goroutine: updates and residual reads in
+// arrival order.
+func (c *Coordinator) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case j := <-c.jobs:
+			j.run(c.residual)
+			close(j.done)
+		case <-c.quit:
+			c.refuseQueued()
+			return
+		}
+	}
+}
+
+// refuseQueued acknowledges every queued job with ErrShuttingDown so no
+// submitter is left waiting on a dead writer.
+func (c *Coordinator) refuseQueued() {
+	for {
+		select {
+		case j := <-c.jobs:
+			j.err = ErrShuttingDown
+			close(j.done)
+		default:
+			return
+		}
+	}
+}
+
+func (c *Coordinator) submit(ctx context.Context, run func(chk *core.Checker)) error {
+	j := &job{run: run, done: make(chan struct{})}
+	select {
+	case c.jobs <- j:
+	default:
+		select {
+		case c.jobs <- j:
+		case <-ctx.Done():
+			return ErrBusy
+		case <-c.quit:
+			return ErrShuttingDown
+		}
+	}
+	<-j.done
+	return j.err
+}
+
+// Epoch returns the coordinator's epoch: 1 + applied update batches.
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// Partitioner exposes the partition function (for routing diagnostics).
+func (c *Coordinator) Partitioner() *Partitioner { return c.part }
+
+// Workers returns the worker set (for status surfaces).
+func (c *Coordinator) Workers() []Worker { return c.workers }
+
+// Plans returns the registered constraints' classification, by name.
+func (c *Coordinator) Plans() map[string]Plan {
+	out := make(map[string]Plan, len(c.plans))
+	for k, v := range c.plans {
+		out[k] = v
+	}
+	return out
+}
+
+// PlanFor classifies one constraint, preferring the cached registry plan
+// when the name matches a registered constraint.
+func (c *Coordinator) PlanFor(ct logic.Constraint) Plan {
+	if p, ok := c.plans[ct.Name]; ok {
+		for _, reg := range c.constraints {
+			if reg.Name == ct.Name && reg.String() == ct.String() {
+				return p
+			}
+		}
+	}
+	return c.part.Decompose(ct, c.resolver)
+}
+
+// Check evaluates the batch: local constraints fan out to every worker,
+// single-shard ones to their owner, residual ones to the coordinator's own
+// checker; the merged outcomes land in input order. Any worker transport
+// failure fails the whole call.
+func (c *Coordinator) Check(ctx context.Context, cts []logic.Constraint, budget int, tr *obs.Trace) ([]CheckOutcome, error) {
+	c.nChecks.Add(uint64(len(cts)))
+	planStart := time.Now()
+	plans := make([]Plan, len(cts))
+	perWorker := make([][]int, len(c.workers)) // constraint indices per worker
+	var residualIdx []int
+	for i, ct := range cts {
+		plans[i] = c.PlanFor(ct)
+		switch plans[i].Kind {
+		case PlanLocal:
+			c.nLocalFanouts.Add(1)
+			for s := range perWorker {
+				perWorker[s] = append(perWorker[s], i)
+			}
+		case PlanSingleShard:
+			c.nSingleShard.Add(1)
+			perWorker[plans[i].Shard] = append(perWorker[plans[i].Shard], i)
+		default:
+			c.nResidualChecks.Add(1)
+			residualIdx = append(residualIdx, i)
+		}
+	}
+	if tr != nil {
+		tr.Span("plan", planStart)
+	}
+
+	// Scatter. gathered[s][k] answers perWorker[s][k]; errs[s] is shard s's
+	// transport failure, slot len(workers) the residual's.
+	gathered := make([][]CheckOutcome, len(c.workers))
+	errs := make([]error, len(c.workers)+1)
+	var residualOut []CheckOutcome
+	var wg sync.WaitGroup
+	for s, idxs := range perWorker {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			t0 := time.Now()
+			batch := make([]logic.Constraint, len(idxs))
+			for k, i := range idxs {
+				batch[k] = cts[i]
+			}
+			out, err := c.workers[s].Check(ctx, batch, budget)
+			if err != nil {
+				c.nWorkerFailures.Add(1)
+				errs[s] = wrapWorkerErr(c.workers[s], err)
+				return
+			}
+			gathered[s] = out
+			if tr != nil {
+				tr.Span(fmt.Sprintf("shard%d", s), t0)
+			}
+		}(s, idxs)
+	}
+	if len(residualIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			errs[len(c.workers)] = c.submit(ctx, func(chk *core.Checker) {
+				residualOut = make([]CheckOutcome, len(residualIdx))
+				for k, i := range residualIdx {
+					res := chk.CheckOneOpts(cts[i], core.CheckOptions{NodeBudget: budget})
+					residualOut[k] = outcomeFromResult(cts[i].Name, res)
+				}
+			})
+			if tr != nil {
+				tr.Span("residual", t0)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Gather: merge according to each plan.
+	mergeStart := time.Now()
+	out := make([]CheckOutcome, len(cts))
+	for s, idxs := range perWorker {
+		for k, i := range idxs {
+			o := gathered[s][k]
+			switch {
+			case plans[i].Kind == PlanSingleShard:
+				out[i] = o
+			case out[i].Method == "": // first shard of a local fan-out
+				o.Method = "shard"
+				out[i] = o
+			default:
+				mergeLocal(&out[i], o, plans[i].Mode)
+			}
+		}
+	}
+	for k, i := range residualIdx {
+		out[i] = residualOut[k]
+	}
+	if tr != nil {
+		tr.Span("merge", mergeStart)
+	}
+	return out, nil
+}
+
+// mergeLocal folds one more shard's outcome into the accumulated merge of a
+// PlanLocal constraint: validity-mode verdicts OR (a violation anywhere is
+// a violation), existence-mode verdicts AND (violated only if no shard
+// found a satisfying binding).
+func mergeLocal(acc *CheckOutcome, o CheckOutcome, mode logic.CheckMode) {
+	if mode == logic.CheckSatisfiability {
+		acc.Violated = acc.Violated && o.Violated
+	} else {
+		acc.Violated = acc.Violated || o.Violated
+	}
+	acc.FellBack = acc.FellBack || o.FellBack
+	if acc.FallbackReason == "" {
+		acc.FallbackReason = o.FallbackReason
+	}
+	if o.DurationNS > acc.DurationNS {
+		acc.DurationNS = o.DurationNS // parallel fan-out: wall clock is the max
+	}
+	if acc.Err == "" {
+		acc.Err = o.Err
+	}
+}
+
+func wrapWorkerErr(w Worker, err error) error {
+	if _, ok := err.(*WorkerError); ok {
+		return err
+	}
+	return &WorkerError{Shard: w.Shard(), URL: w.Status().URL, Err: err}
+}
+
+// Witnesses enumerates violating bindings. Local validity-mode constraints
+// union per-shard witness sets — exact, because guardedness confines every
+// violating binding to the shard owning its anchor value; everything else
+// (residual plans, existence mode) goes to the residual checker, which
+// reproduces the single-kernel server's behavior including its errors.
+func (c *Coordinator) Witnesses(ctx context.Context, ct logic.Constraint, limit, budget int, tr *obs.Trace) ([]core.Witness, string, error) {
+	c.nWitnesses.Add(1)
+	plan := c.PlanFor(ct)
+	if plan.Mode != logic.CheckValidity || plan.Kind == PlanResidual {
+		var (
+			ws   []core.Witness
+			werr error
+		)
+		t0 := time.Now()
+		err := c.submit(ctx, func(chk *core.Checker) {
+			ws, werr = chk.ViolationWitnessesOpts(ct, limit, core.CheckOptions{NodeBudget: budget})
+		})
+		if tr != nil {
+			tr.Span("residual", t0)
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		c.nResidualChecks.Add(1)
+		return ws, "residual", werr
+	}
+
+	targets := c.workers
+	if plan.Kind == PlanSingleShard {
+		targets = c.workers[plan.Shard : plan.Shard+1]
+	}
+	perShard := make([][]core.Witness, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for k, w := range targets {
+		wg.Add(1)
+		go func(k int, w Worker) {
+			defer wg.Done()
+			t0 := time.Now()
+			ws, err := w.Witnesses(ctx, ct, limit, budget)
+			if err != nil {
+				c.nWorkerFailures.Add(1)
+				errs[k] = wrapWorkerErr(w, err)
+				return
+			}
+			perShard[k] = ws
+			if tr != nil {
+				tr.Span(fmt.Sprintf("shard%d", w.Shard()), t0)
+			}
+		}(k, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, "", err
+		}
+	}
+
+	t0 := time.Now()
+	seen := map[string]bool{}
+	var merged []core.Witness
+	for _, ws := range perShard {
+		for _, wit := range ws {
+			key := strings.Join(wit.Vars, "\x00") + "\x01" + strings.Join(wit.Values, "\x00")
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, wit)
+		}
+	}
+	// Deterministic order regardless of shard arrival.
+	sort.Slice(merged, func(i, j int) bool {
+		a := strings.Join(merged[i].Values, "\x00")
+		b := strings.Join(merged[j].Values, "\x00")
+		return a < b
+	})
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	if tr != nil {
+		tr.Span("merge", t0)
+	}
+	return merged, "shard", nil
+}
+
+// Update routes the batch to owning shards (broadcast tables to all),
+// applies it, then mirrors it into the residual checker and advances the
+// epoch. The whole batch is pre-validated for routing before any shard sees
+// a tuple, so routing errors are atomic; a mid-batch apply error on a shard
+// is not (the error names the shard, and the epoch does not advance).
+func (c *Coordinator) Update(ctx context.Context, ups []core.Update, tr *obs.Trace) (int, uint64, error) {
+	var (
+		applied int
+		epoch   uint64
+		uerr    error
+	)
+	err := c.submit(ctx, func(chk *core.Checker) {
+		t0 := time.Now()
+		// Route first: a bad tuple (unknown table, wrong arity, bad op)
+		// fails the batch before any shard mutates.
+		perShard := make([][]core.Update, len(c.workers))
+		for _, u := range ups {
+			s, broadcast, rerr := c.part.RouteUpdate(chk.Catalog(), u)
+			if rerr != nil {
+				uerr = rerr
+				return
+			}
+			if broadcast {
+				for i := range perShard {
+					perShard[i] = append(perShard[i], u)
+				}
+			} else {
+				perShard[s] = append(perShard[s], u)
+			}
+		}
+		if tr != nil {
+			tr.Span("route", t0)
+		}
+
+		// Scatter to the owning shards in parallel.
+		t0 = time.Now()
+		errs := make([]error, len(c.workers))
+		var wg sync.WaitGroup
+		for s, batch := range perShard {
+			if len(batch) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int, batch []core.Update) {
+				defer wg.Done()
+				if _, err := c.workers[s].Update(ctx, batch); err != nil {
+					c.nWorkerFailures.Add(1)
+					errs[s] = wrapWorkerErr(c.workers[s], err)
+				}
+			}(s, batch)
+		}
+		wg.Wait()
+		if tr != nil {
+			tr.Span("scatter", t0)
+		}
+		for _, err := range errs {
+			if err != nil {
+				uerr = err
+				return
+			}
+		}
+
+		// Mirror into the residual checker. Shards accepted the batch, so a
+		// failure here means coordinator state diverged — surfaced loudly.
+		t0 = time.Now()
+		if n, err := chk.Apply(ups); err != nil {
+			uerr = fmt.Errorf("shard: residual apply diverged after %d/%d tuples: %w", n, len(ups), err)
+			return
+		}
+		if tr != nil {
+			tr.Span("residual_apply", t0)
+		}
+		applied = len(ups)
+		epoch = c.epoch.Add(1)
+		c.nUpdateBatches.Add(1)
+		c.nUpdateTuples.Add(uint64(len(ups)))
+	})
+	if err != nil {
+		return 0, c.epoch.Load(), err
+	}
+	if uerr != nil {
+		return 0, c.epoch.Load(), uerr
+	}
+	return applied, epoch, nil
+}
+
+// Close stops the coordinator loop and every worker.
+func (c *Coordinator) Close() {
+	c.once.Do(func() { close(c.quit) })
+	<-c.done
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			w.Close()
+		}(w)
+	}
+	wg.Wait()
+}

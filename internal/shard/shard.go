@@ -1,0 +1,237 @@
+// Package shard partitions a catalog by hash or range of a designated key
+// column into N per-shard kernels, decomposes constraints into per-shard
+// conjuncts plus a cross-shard residual, and coordinates scatter-gather
+// evaluation across shard workers.
+//
+// The partition key is one column of one table ("TABLE.COL"). Every table
+// with exactly one column over the same value domain is co-partitioned on
+// that column; tables with no such column (or an ambiguous choice of two)
+// are broadcast: every shard holds a full copy. Because co-partitioning is
+// decided by shared domains, exactly the tables a constraint can join
+// against the key land on the owning shard.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Errors surfaced by workers and the coordinator.
+var (
+	// ErrBusy reports a full admission queue: the caller's deadline expired
+	// before a worker slot opened.
+	ErrBusy = errors.New("shard: worker queue full")
+	// ErrShuttingDown reports a request that arrived during shutdown.
+	ErrShuttingDown = errors.New("shard: shutting down")
+)
+
+// Mode selects the partitioning function.
+type Mode int
+
+const (
+	// HashMode assigns a key value to shard FNV1a(value) mod N. The hash is
+	// computed over the value string, never a dictionary code, so placement
+	// is stable across processes and restarts.
+	HashMode Mode = iota
+	// RangeMode assigns by lexicographic range: shard 0 holds values below
+	// the first bound, shard i holds bounds[i-1] <= value < bounds[i], and
+	// the last shard holds everything from the final bound up.
+	RangeMode
+)
+
+func (m Mode) String() string {
+	if m == RangeMode {
+		return "range"
+	}
+	return "hash"
+}
+
+// ParseMode parses "hash" or "range".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "hash", "":
+		return HashMode, nil
+	case "range":
+		return RangeMode, nil
+	default:
+		return HashMode, fmt.Errorf("shard: unknown mode %q (want hash or range)", s)
+	}
+}
+
+// Key designates the partition column as TABLE.COL.
+type Key struct {
+	Table  string
+	Column string
+}
+
+func (k Key) String() string { return k.Table + "." + k.Column }
+
+// ParseKey parses a "TABLE.COL" shard-key flag.
+func ParseKey(s string) (Key, error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 || strings.IndexByte(s[i+1:], '.') >= 0 {
+		return Key{}, fmt.Errorf("shard: key %q is not of the form TABLE.COL", s)
+	}
+	return Key{Table: s[:i], Column: s[i+1:]}, nil
+}
+
+// Partitioner maps key values to shards and splits catalogs accordingly.
+// It is immutable after construction and safe for concurrent use.
+type Partitioner struct {
+	key    Key
+	n      int
+	mode   Mode
+	bounds []string // RangeMode: n-1 strictly increasing lower bounds
+	// domain is the name of the key column's value domain; a table
+	// co-partitions iff exactly one of its columns shares this domain.
+	domain string
+}
+
+// NewPartitioner validates the key against the catalog and builds the
+// partition function. bounds is required (length n-1, strictly increasing)
+// in RangeMode and must be empty in HashMode.
+func NewPartitioner(cat *relation.Catalog, key Key, n int, mode Mode, bounds []string) (*Partitioner, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d: want at least 1", n)
+	}
+	t := cat.Table(key.Table)
+	if t == nil {
+		return nil, fmt.Errorf("shard: key table %q does not exist", key.Table)
+	}
+	c := t.ColumnIndex(key.Column)
+	if c < 0 {
+		return nil, fmt.Errorf("shard: table %s has no column %q", key.Table, key.Column)
+	}
+	switch mode {
+	case HashMode:
+		if len(bounds) > 0 {
+			return nil, errors.New("shard: bounds are only meaningful with range mode")
+		}
+	case RangeMode:
+		if len(bounds) != n-1 {
+			return nil, fmt.Errorf("shard: range mode with %d shards needs %d bounds, got %d", n, n-1, len(bounds))
+		}
+		if !sort.StringsAreSorted(bounds) {
+			return nil, errors.New("shard: range bounds must be sorted ascending")
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] == bounds[i-1] {
+				return nil, fmt.Errorf("shard: duplicate range bound %q", bounds[i])
+			}
+		}
+	}
+	return &Partitioner{
+		key:    key,
+		n:      n,
+		mode:   mode,
+		bounds: bounds,
+		domain: t.ColumnDomain(c).Name(),
+	}, nil
+}
+
+// Shards returns the shard count N.
+func (p *Partitioner) Shards() int { return p.n }
+
+// Key returns the designated partition key.
+func (p *Partitioner) Key() Key { return p.key }
+
+// Mode returns the partitioning function kind.
+func (p *Partitioner) Mode() Mode { return p.mode }
+
+// ShardOf maps one key value to its owning shard.
+func (p *Partitioner) ShardOf(value string) int {
+	if p.mode == RangeMode {
+		// Number of bounds <= value: shard i starts at bounds[i-1].
+		return sort.Search(len(p.bounds), func(i int) bool { return p.bounds[i] > value })
+	}
+	// FNV-1a over the value bytes.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(value); i++ {
+		h ^= uint64(value[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(p.n))
+}
+
+// PartitionColumn returns the column index t partitions on, or -1 when t is
+// broadcast (no column over the key domain, or an ambiguous pair of them).
+// For the key table itself the designated column always wins.
+func (p *Partitioner) PartitionColumn(t *relation.Table) int {
+	if t.Name() == p.key.Table {
+		return t.ColumnIndex(p.key.Column)
+	}
+	found := -1
+	for i := 0; i < t.NumCols(); i++ {
+		if t.ColumnDomain(i).Name() != p.domain {
+			continue
+		}
+		if found >= 0 {
+			return -1 // ambiguous: safer to broadcast
+		}
+		found = i
+	}
+	return found
+}
+
+// Split clones the catalog N times and filters each partitioned table down
+// to the rows its shard owns. Broadcast tables keep their full contents on
+// every shard. Dictionaries are cloned whole, so value codes agree between
+// the shards and the source catalog at split time.
+func (p *Partitioner) Split(cat *relation.Catalog) []*relation.Catalog {
+	out := make([]*relation.Catalog, p.n)
+	for i := range out {
+		nc := cat.Clone()
+		for _, t := range nc.Tables() {
+			pc := p.PartitionColumn(t)
+			if pc < 0 {
+				continue
+			}
+			// Precompute code -> shard once per table; rows then route by
+			// dictionary code without re-hashing strings.
+			dom := t.ColumnDomain(pc)
+			vals := dom.Values()
+			codeShard := make([]int, len(vals))
+			for c, v := range vals {
+				codeShard[c] = p.ShardOf(v)
+			}
+			keep := make([][]int32, 0, t.Len())
+			for _, r := range t.Rows() {
+				if codeShard[r[pc]] == i {
+					keep = append(keep, r)
+				}
+			}
+			t.Truncate()
+			for _, r := range keep {
+				t.InsertCodes(r)
+			}
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// RouteUpdate decides which shard owns one tuple mutation. broadcast is true
+// for tuples of broadcast tables, which every shard must apply. cat is the
+// coordinator's full catalog (schema source of truth).
+func (p *Partitioner) RouteUpdate(cat *relation.Catalog, u core.Update) (shard int, broadcast bool, err error) {
+	if u.Op != core.UpdateInsert && u.Op != core.UpdateDelete {
+		return 0, false, fmt.Errorf("shard: unknown update op %q", u.Op)
+	}
+	t := cat.Table(u.Table)
+	if t == nil {
+		return 0, false, fmt.Errorf("shard: update names unknown table %q", u.Table)
+	}
+	if len(u.Values) != t.NumCols() {
+		return 0, false, fmt.Errorf("shard: update for %s has %d values, want %d", u.Table, len(u.Values), t.NumCols())
+	}
+	pc := p.PartitionColumn(t)
+	if pc < 0 {
+		return 0, true, nil
+	}
+	return p.ShardOf(u.Values[pc]), false, nil
+}

@@ -1,0 +1,261 @@
+// worker.go is the shard execution layer: the Worker interface the
+// coordinator fans out to, and the in-process implementation — one goroutine
+// owning one core.Checker over one shard's partition, fed through a bounded
+// admission queue with the same backpressure contract as internal/service
+// (enqueue blocks until the caller's deadline, then ErrBusy).
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// CheckOutcome is one constraint's verdict from one worker, or the
+// coordinator's merge of several.
+type CheckOutcome struct {
+	Name           string
+	Violated       bool
+	Method         string
+	FellBack       bool
+	FallbackReason string
+	DurationNS     int64
+	// Err is a per-constraint evaluation error from an otherwise healthy
+	// worker; transport-level failures surface as *WorkerError instead.
+	Err string
+}
+
+// WorkerStatus is a point-in-time snapshot of one worker, safe to read from
+// metrics callbacks (all sources are atomics).
+type WorkerStatus struct {
+	Shard     int    `json:"shard"`
+	URL       string `json:"url,omitempty"`
+	InProcess bool   `json:"in_process"`
+	// Up is false for an HTTP worker whose last request failed.
+	Up bool `json:"up"`
+	// Epoch is the worker's own epoch: update batches it has applied (plus
+	// one), or the epoch its server last reported.
+	Epoch   uint64 `json:"epoch"`
+	Checks  uint64 `json:"checks"`
+	Updates uint64 `json:"updates"`
+	// Errors counts failed requests against this worker.
+	Errors uint64 `json:"errors"`
+	// QueueDepth/QueueCap describe the admission queue (in-process only).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap,omitempty"`
+	// KernelLiveNodes is the shard kernel's live-node count as of its last
+	// completed job (in-process only).
+	KernelLiveNodes int64 `json:"kernel_live_nodes,omitempty"`
+}
+
+// Worker is one shard's execution endpoint. Implementations serialize their
+// own operations; the coordinator may call them from multiple goroutines.
+type Worker interface {
+	Shard() int
+	Check(ctx context.Context, cts []logic.Constraint, budget int) ([]CheckOutcome, error)
+	Witnesses(ctx context.Context, ct logic.Constraint, limit, budget int) ([]core.Witness, error)
+	Update(ctx context.Context, ups []core.Update) (int, error)
+	Status() WorkerStatus
+	Close()
+}
+
+// outcomeFromResult flattens a core.Result into the wire-friendly outcome.
+func outcomeFromResult(name string, res core.Result) CheckOutcome {
+	o := CheckOutcome{
+		Name:       name,
+		Violated:   res.Violated,
+		Method:     string(res.Method),
+		FellBack:   res.FellBack,
+		DurationNS: res.Duration.Nanoseconds(),
+	}
+	if res.FallbackReason != nil {
+		o.FallbackReason = res.FallbackReason.Error()
+	}
+	if res.Err != nil {
+		o.Err = res.Err.Error()
+	}
+	return o
+}
+
+// job is one unit of work for a checker-owning goroutine.
+type job struct {
+	run  func(chk *core.Checker)
+	err  error // set by the loop when the job is rejected, not run
+	done chan struct{}
+}
+
+// procWorker is the in-process Worker: a goroutine owning a core.Checker
+// over one shard's catalog partition.
+type procWorker struct {
+	shard int
+	chk   *core.Checker
+	jobs  chan *job
+	quit  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	epoch     atomic.Uint64
+	checks    atomic.Uint64
+	updates   atomic.Uint64
+	failures  atomic.Uint64
+	liveNodes atomic.Int64
+}
+
+// newProcWorker builds the shard's checker, indexes every table under its
+// own name (matching the single-kernel daemon's cold boot), and starts the
+// worker goroutine.
+func newProcWorker(shard int, cat *relation.Catalog, opts Options) (*procWorker, error) {
+	chk := core.New(cat, core.Options{
+		NodeBudget: opts.NodeBudget,
+		RandomSeed: opts.RandomSeed,
+	})
+	for _, t := range cat.Tables() {
+		if _, err := chk.BuildIndex(t.Name(), t.Name(), nil, opts.Method); err != nil {
+			return nil, fmt.Errorf("shard %d: index %s: %w", shard, t.Name(), err)
+		}
+	}
+	w := &procWorker{
+		shard: shard,
+		chk:   chk,
+		jobs:  make(chan *job, opts.QueueDepth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	w.epoch.Store(1)
+	w.liveNodes.Store(int64(chk.KernelStats().Live))
+	go w.loop()
+	return w, nil
+}
+
+func (w *procWorker) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case j := <-w.jobs:
+			j.run(w.chk)
+			w.liveNodes.Store(int64(w.chk.KernelStats().Live))
+			close(j.done)
+		case <-w.quit:
+			w.refuseQueued()
+			return
+		}
+	}
+}
+
+// refuseQueued rejects everything still queued so no submitter hangs on a
+// dead worker.
+func (w *procWorker) refuseQueued() {
+	for {
+		select {
+		case j := <-w.jobs:
+			j.err = ErrShuttingDown
+			close(j.done)
+		default:
+			return
+		}
+	}
+}
+
+// submit enqueues one job and waits for it. A full queue blocks until the
+// caller's deadline, then fails with ErrBusy — the service layer's
+// backpressure contract.
+func (w *procWorker) submit(ctx context.Context, run func(chk *core.Checker)) error {
+	j := &job{run: run, done: make(chan struct{})}
+	select {
+	case w.jobs <- j:
+	default:
+		select {
+		case w.jobs <- j:
+		case <-ctx.Done():
+			w.failures.Add(1)
+			return ErrBusy
+		case <-w.quit:
+			return ErrShuttingDown
+		}
+	}
+	<-j.done
+	if j.err != nil {
+		w.failures.Add(1)
+	}
+	return j.err
+}
+
+func (w *procWorker) Shard() int { return w.shard }
+
+func (w *procWorker) Check(ctx context.Context, cts []logic.Constraint, budget int) ([]CheckOutcome, error) {
+	var out []CheckOutcome
+	err := w.submit(ctx, func(chk *core.Checker) {
+		out = make([]CheckOutcome, len(cts))
+		for i, ct := range cts {
+			res := chk.CheckOneOpts(ct, core.CheckOptions{NodeBudget: budget})
+			out[i] = outcomeFromResult(ct.Name, res)
+		}
+		w.checks.Add(uint64(len(cts)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (w *procWorker) Witnesses(ctx context.Context, ct logic.Constraint, limit, budget int) ([]core.Witness, error) {
+	var (
+		ws   []core.Witness
+		werr error
+	)
+	err := w.submit(ctx, func(chk *core.Checker) {
+		ws, werr = chk.ViolationWitnessesOpts(ct, limit, core.CheckOptions{NodeBudget: budget})
+		w.checks.Add(1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ws, werr
+}
+
+func (w *procWorker) Update(ctx context.Context, ups []core.Update) (int, error) {
+	var (
+		applied int
+		aerr    error
+	)
+	err := w.submit(ctx, func(chk *core.Checker) {
+		applied, aerr = chk.Apply(ups)
+		if aerr == nil {
+			w.epoch.Add(1)
+			w.updates.Add(uint64(len(ups)))
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if aerr != nil {
+		w.failures.Add(1)
+		return applied, fmt.Errorf("shard %d: %w", w.shard, aerr)
+	}
+	return applied, nil
+}
+
+func (w *procWorker) Status() WorkerStatus {
+	return WorkerStatus{
+		Shard:           w.shard,
+		InProcess:       true,
+		Up:              true,
+		Epoch:           w.epoch.Load(),
+		Checks:          w.checks.Load(),
+		Updates:         w.updates.Load(),
+		Errors:          w.failures.Load(),
+		QueueDepth:      len(w.jobs),
+		QueueCap:        cap(w.jobs),
+		KernelLiveNodes: w.liveNodes.Load(),
+	}
+}
+
+func (w *procWorker) Close() {
+	w.once.Do(func() { close(w.quit) })
+	<-w.done
+}
